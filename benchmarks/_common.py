@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints its paper-claim-vs-measured table and also writes it to
+``benchmarks/results/<name>.txt`` so the artifacts survive pytest's output
+capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

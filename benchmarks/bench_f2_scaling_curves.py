@@ -1,0 +1,46 @@
+"""F2 -- figure: round-count growth curves (the Theorem-1 shape).
+
+Two series: charged rounds vs log2 n for the general O(log n) drivers, and
+charged rounds vs log2 Delta for the Section-5 driver, each with its linear
+fit.  Together these are the "figure" version of T1/T2/T7.
+"""
+
+import numpy as np
+
+from repro.analysis import fit_linear, render_series
+from repro.core import Params, deterministic_mis, lowdeg_mis
+from repro.graphs import gnp_random_graph, random_regular_graph
+
+from _common import emit
+
+
+def run():
+    params = Params()
+    ns, general_rounds = [], []
+    for n in [250, 500, 1000, 2000]:
+        g = gnp_random_graph(n, 8.0 / n, seed=130)
+        general_rounds.append(deterministic_mis(g, params).rounds)
+        ns.append(n)
+    ds, lowdeg_rounds = [], []
+    for d in [3, 6, 12, 24]:
+        g = random_regular_graph(1000, d, seed=131)
+        lowdeg_rounds.append(lowdeg_mis(g, params).rounds)
+        ds.append(d)
+    return ns, general_rounds, ds, lowdeg_rounds
+
+
+def test_f2_scaling_curves(benchmark):
+    ns, gen, ds, low = benchmark.pedantic(run, rounds=1, iterations=1)
+    fit_n = fit_linear([np.log2(n) for n in ns], gen)
+    fit_d = fit_linear([np.log2(d) for d in ds], low)
+    out = render_series("F2a  general MIS rounds vs n", ns, gen, "n", "rounds")
+    out += f"\nfit: rounds ~ {fit_n.slope:.1f} log2(n) + {fit_n.intercept:.1f} (r2={fit_n.r2:.3f})"
+    out += "\n\n" + render_series(
+        "F2b  Section-5 MIS rounds vs Delta (n=1000)", ds, low, "Delta", "rounds"
+    )
+    out += f"\nfit: rounds ~ {fit_d.slope:.1f} log2(Delta) + {fit_d.intercept:.1f} (r2={fit_d.r2:.3f})"
+    emit("f2_scaling_curves", out)
+
+    # Shapes: sub-linear absolute growth across an 8x n (and Delta) range.
+    assert gen[-1] <= 4 * gen[0]
+    assert low[-1] <= 4 * low[0] + 8

@@ -1,0 +1,82 @@
+"""T4 -- Sections 3.2 / 4.2: stage invariants of the sparsification.
+
+For dense inputs (chosen class i > 4 so real stages run), tabulates per
+stage j: measured degree decay vs the ideal ``n^{-j delta}``, the implied
+per-node bound ratios (<= 1 certifies invariant (i); >= 1 certifies
+invariant (ii)), the realised slack multiplier kappa, and the seed-scan
+effort.  This is the executable version of Lemmas 10/11/17/18.
+"""
+
+from repro.analysis import render_table
+from repro.core import (
+    Params,
+    good_nodes_matching,
+    good_nodes_mis,
+    sparsify_edges,
+    sparsify_nodes,
+)
+from repro.graphs import complete_graph, gnp_random_graph
+from repro.mpc import MPCContext
+
+from _common import emit
+
+
+def run():
+    params = Params()
+    rows = []
+    for name, g in [
+        ("K60", complete_graph(60)),
+        ("gnp-dense", gnp_random_graph(300, 0.25, seed=44)),
+    ]:
+        good_m = good_nodes_matching(g, params)
+        ctx = MPCContext(n=g.n, m=g.m, eps=params.eps, space_factor=params.space_factor)
+        res_e = sparsify_edges(g, good_m, params, ctx, [])
+        for s in res_e.stages:
+            rows.append(
+                (
+                    name, "edges", s.stage, s.items_before, s.items_after,
+                    round(s.degree_decay_measured, 4),
+                    round(s.degree_decay_ideal, 4),
+                    round(s.degree_bound_ratio, 3),
+                    round(s.retention_bound_ratio, 3)
+                    if s.retention_bound_ratio != float("inf") else "inf",
+                    round(s.slack_kappa, 2), s.trials, s.all_good,
+                )
+            )
+        good_i = good_nodes_mis(g, params)
+        ctx2 = MPCContext(n=g.n, m=g.m, eps=params.eps, space_factor=params.space_factor)
+        res_n = sparsify_nodes(g, good_i, params, ctx2, [])
+        for s in res_n.stages:
+            rows.append(
+                (
+                    name, "nodes", s.stage, s.items_before, s.items_after,
+                    round(s.degree_decay_measured, 4),
+                    round(s.degree_decay_ideal, 4),
+                    round(s.degree_bound_ratio, 3),
+                    round(s.retention_bound_ratio, 3)
+                    if s.retention_bound_ratio != float("inf") else "inf",
+                    round(s.slack_kappa, 2), s.trials, s.all_good,
+                )
+            )
+    return rows
+
+
+def test_t4_invariants(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = render_table(
+        "T4  Lemmas 10/11/17/18: sparsification stage invariants",
+        ["graph", "kind", "j", "before", "after", "decay meas", "decay ideal",
+         "deg ratio", "ret ratio", "kappa", "trials", "all good"],
+        rows,
+        footnote="claim: all good => deg ratio <= 1 and ret ratio >= 1; "
+        "decay tracks n^{-j delta}",
+    )
+    emit("t4_invariants", table)
+
+    assert rows, "dense inputs must trigger sparsification stages"
+    for row in rows:
+        if row[11]:  # all_good
+            assert row[7] <= 1.0 + 1e-9
+            assert row[8] == "inf" or row[8] >= 1.0 - 1e-9
+        # decay within a small factor of ideal per stage
+        assert row[5] <= 3.0 * row[6] + 0.05

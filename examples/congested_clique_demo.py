@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Scenario: CONGESTED CLIQUE MIS and the Corollary-2 round separation.
+
+Runs the deterministic CC MIS twice on the same input -- once with the
+paper's O(log Delta) accounting (O(1) rounds per phase thanks to 2-hop
+information, plus a Lenzen collection of the <= n-edge remainder) and once
+with the Censor-Hillel-et-al.-style bit-by-bit voting accounting
+(O(log n) rounds per phase).  The measured ratio is the paper's improvement.
+
+Run:  python examples/congested_clique_demo.py
+"""
+
+from repro.cclique import cc_maximal_matching, cc_mis
+from repro.graphs import gnp_random_graph
+from repro.verify import verify_matching_pairs, verify_mis_nodes
+
+
+def main() -> None:
+    g = gnp_random_graph(n=400, p=0.15, seed=55)
+    print(f"input: {g} (Delta = {g.max_degree()})\n")
+
+    ours = cc_mis(g, charge_mode="ours")
+    chps = cc_mis(g, charge_mode="chps")
+    assert verify_mis_nodes(g, ours.solution)
+    assert (ours.solution == chps.solution).all()  # same algorithm, same MIS
+
+    print("MIS in CONGESTED CLIQUE:")
+    print(f"  phases until |E| <= n: {ours.phases}; remainder collected: "
+          f"{ours.collected_remainder_edges} edges (Lenzen, O(1) rounds)")
+    print(f"  ours  (Cor. 2, O(log Delta)):      {ours.rounds} rounds")
+    print(f"  CHPS-style voting (O(log D log n)): {chps.rounds} rounds")
+    print(f"  separation: {chps.rounds / ours.rounds:.1f}x\n")
+
+    mm = cc_maximal_matching(g, charge_mode="ours")
+    assert verify_matching_pairs(g, mm.solution)
+    print(
+        f"maximal matching in CONGESTED CLIQUE: {mm.solution.shape[0]} edges, "
+        f"{mm.phases} phases, {mm.rounds} rounds"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Scenario: register/frequency assignment via deterministic (Δ+1)-coloring.
+
+The classical downstream use of MIS (Luby's original motivation): color a
+conflict graph with Δ+1 colors by computing an MIS of the product graph
+G x K_{Δ+1}.  Frequencies for radio cells, registers for interfering
+variables, time slots for conflicting jobs -- same abstraction.  The
+deterministic pipeline means the assignment is reproducible: re-planning
+after a crash yields the identical frequency plan.
+
+Run:  python examples/map_coloring.py
+"""
+
+import numpy as np
+
+from repro.core import deterministic_coloring
+from repro.graphs import grid_graph
+
+
+def main() -> None:
+    # A 12x12 cellular grid: cells interfere with their lattice neighbours.
+    g = grid_graph(12, 12)
+    print(f"conflict graph: {g} (Delta = {g.max_degree()})")
+
+    res = deterministic_coloring(g)
+    used = len(set(res.colors.tolist()))
+    print(
+        f"\nassigned {used} frequencies (palette {res.num_colors} = Delta + 1) "
+        f"via MIS on a product graph of {res.product_n} nodes / "
+        f"{res.product_m} edges"
+    )
+    print(f"charged MPC rounds: {res.rounds}")
+
+    # Validate: no interfering pair shares a frequency.
+    clashes = int(np.sum(res.colors[g.edges_u] == res.colors[g.edges_v]))
+    assert clashes == 0
+    print("no interference clashes -- assignment is proper")
+
+    # Render the grid's coloring as ASCII art.
+    grid = res.colors.reshape(12, 12)
+    print("\nfrequency map:")
+    for row in grid:
+        print("  " + " ".join(str(int(c)) for c in row))
+
+    again = deterministic_coloring(g)
+    assert np.array_equal(again.colors, res.colors)
+    print("\nre-planning reproduced the identical map -- deterministic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: deterministic MIS and maximal matching in low-space MPC.
+
+Builds a random graph, runs the paper's two deterministic algorithms through
+the public API (which dispatches between the general O(log n) path and the
+Section-5 O(log Delta + log log n) path), verifies the outputs, and prints
+the MPC cost accounting.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    gnp_random_graph,
+    maximal_independent_set,
+    maximal_matching,
+    verify_matching_pairs,
+    verify_mis_nodes,
+)
+
+
+def main() -> None:
+    g = gnp_random_graph(n=500, p=0.02, seed=7)
+    print(f"input: {g}")
+
+    mis = maximal_independent_set(g, eps=0.5)
+    assert verify_mis_nodes(g, mis.independent_set), "MIS must verify"
+    print(
+        f"\nMIS: {len(mis.independent_set)} nodes, "
+        f"{mis.iterations} Luby iterations, {mis.rounds} charged MPC rounds"
+    )
+    print(f"  rounds by category: {dict(mis.rounds_by_category)}")
+    print(f"  machine space high-water: {mis.max_machine_words}/{mis.space_limit} words")
+
+    mm = maximal_matching(g, eps=0.5)
+    assert verify_matching_pairs(g, mm.pairs), "matching must verify"
+    print(
+        f"\nmaximal matching: {mm.pairs.shape[0]} edges, "
+        f"{mm.iterations} iterations, {mm.rounds} charged MPC rounds"
+    )
+
+    # Determinism: identical reruns, bit for bit.
+    again = maximal_independent_set(g, eps=0.5)
+    assert (again.independent_set == mis.independent_set).all()
+    print("\nrerun produced the identical MIS -- fully deterministic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Scenario: interference-free transmission scheduling on a radio network.
+
+A classic MIS application (and the kind of workload the paper's introduction
+motivates): nodes are radio transmitters, edges are interference pairs, and
+a set of transmitters may broadcast simultaneously iff it is independent.
+Repeatedly extracting an MIS and removing it yields an interference-free
+*schedule* (a partition into rounds); using the deterministic algorithm
+makes the schedule reproducible across re-runs -- no coordination or shared
+randomness needed between data centers computing it.
+
+The topology is a bounded-degree random geometric-ish graph, squarely in the
+Section-5 regime, so each MIS extraction costs O(log Delta + log log n)
+charged MPC rounds.
+
+Run:  python examples/wireless_scheduling.py
+"""
+
+import numpy as np
+
+from repro import maximal_independent_set
+from repro.graphs import Graph, bounded_degree_graph
+from repro.verify import is_independent_set
+
+
+def build_schedule(g: Graph, max_slots: int = 64) -> list[np.ndarray]:
+    """Partition all transmitters into interference-free slots."""
+    slots: list[np.ndarray] = []
+    remaining = g
+    alive = np.ones(g.n, dtype=bool)
+    total_rounds = 0
+    while alive.any():
+        if len(slots) >= max_slots:
+            raise RuntimeError("degree too high for the slot budget")
+        res = maximal_independent_set(remaining)
+        total_rounds += res.rounds
+        chosen = np.asarray(
+            [v for v in res.independent_set if alive[v]], dtype=np.int64
+        )
+        assert is_independent_set(g, _mask(g.n, chosen))
+        slots.append(chosen)
+        alive[chosen] = False
+        remaining = remaining.remove_vertices(~alive | _mask(g.n, chosen))
+        # Nodes already scheduled are isolated; restrict future MIS runs to
+        # the still-alive induced subgraph.
+        keep = np.zeros(remaining.m, dtype=bool) if remaining.m else np.zeros(0, bool)
+        del keep  # remove_vertices already dropped their edges
+    print(f"total charged MPC rounds across all slots: {total_rounds}")
+    return slots
+
+
+def _mask(n: int, ids: np.ndarray) -> np.ndarray:
+    m = np.zeros(n, dtype=bool)
+    if ids.size:
+        m[ids] = True
+    return m
+
+
+def main() -> None:
+    g = bounded_degree_graph(n=600, max_deg=6, p_fill=0.9, seed=21)
+    print(f"radio network: {g}")
+
+    slots = build_schedule(g)
+    sizes = [len(s) for s in slots]
+    print(f"schedule: {len(slots)} slots, sizes {sizes}")
+
+    # Sanity: every transmitter scheduled exactly once, every slot
+    # interference-free (checked inside build_schedule).
+    scheduled = np.concatenate(slots)
+    assert np.array_equal(np.sort(scheduled), np.arange(g.n))
+    # A maximal-independent-set schedule uses at most Delta + 1 slots.
+    assert len(slots) <= g.max_degree() + 1
+    print(
+        f"all {g.n} transmitters scheduled in {len(slots)} slots "
+        f"(<= Delta + 1 = {g.max_degree() + 1})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro -- Deterministic graph sparsification for low-space MPC.
+
+Full reproduction of Czumaj, Davies, Parter, *"Graph Sparsification for
+Derandomizing Massively Parallel Computation with Low Space"* (SPAA 2020).
+
+Quickstart::
+
+    from repro import Graph, gnp_random_graph, maximal_independent_set
+
+    g = gnp_random_graph(512, 0.05, seed=1)
+    result = maximal_independent_set(g, eps=0.5)
+    print(result.independent_set, result.rounds)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+experiment index.
+"""
+
+from .graphs import Graph, gnp_random_graph, power_law_graph  # noqa: F401
+from .core import (  # noqa: F401
+    MISResult,
+    MatchingResult,
+    Params,
+    deterministic_maximal_matching,
+    deterministic_mis,
+)
+from .verify import (  # noqa: F401
+    is_independent_set,
+    is_matching,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    verify_matching_pairs,
+    verify_mis_nodes,
+)
+
+__version__ = "1.0.0"
+
+
+def maximal_independent_set(graph: Graph, *, eps: float = 0.5, **kwargs) -> MISResult:
+    """Deterministic MIS (Theorem 1): dispatches between the general
+    ``O(log n)`` algorithm (Section 4) and the low-degree
+    ``O(log Delta + log log n)`` algorithm (Section 5) by the paper's rule
+    ``Delta <= n^delta``."""
+    from .core.api import maximal_independent_set as _mis
+
+    return _mis(graph, eps=eps, **kwargs)
+
+
+def maximal_matching(graph: Graph, *, eps: float = 0.5, **kwargs) -> MatchingResult:
+    """Deterministic maximal matching (Theorem 1); same dispatch rule."""
+    from .core.api import maximal_matching as _mm
+
+    return _mm(graph, eps=eps, **kwargs)
+
+
+__all__ = [
+    "Graph",
+    "MISResult",
+    "MatchingResult",
+    "Params",
+    "deterministic_maximal_matching",
+    "deterministic_mis",
+    "gnp_random_graph",
+    "is_independent_set",
+    "is_matching",
+    "is_maximal_independent_set",
+    "is_maximal_matching",
+    "maximal_independent_set",
+    "maximal_matching",
+    "power_law_graph",
+    "verify_matching_pairs",
+    "verify_mis_nodes",
+    "__version__",
+]

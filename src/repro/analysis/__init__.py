@@ -1,0 +1,31 @@
+"""Analysis: theory bounds, curve fits, and table rendering."""
+
+from .progress import LinearFit, fit_geometric_decay, fit_linear
+from .report import run_report
+from .tables import format_row, render_series, render_table
+from .theory import (
+    lowdeg_round_bound,
+    matching_iteration_bound,
+    mis_iteration_bound,
+    per_machine_space,
+    seed_bits_colors,
+    seed_bits_ids,
+    total_space_bound,
+)
+
+__all__ = [
+    "LinearFit",
+    "fit_geometric_decay",
+    "fit_linear",
+    "format_row",
+    "lowdeg_round_bound",
+    "matching_iteration_bound",
+    "mis_iteration_bound",
+    "per_machine_space",
+    "render_series",
+    "render_table",
+    "run_report",
+    "seed_bits_colors",
+    "seed_bits_ids",
+    "total_space_bound",
+]

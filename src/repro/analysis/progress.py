@@ -1,0 +1,63 @@
+"""Curve fits for progress traces and scaling sweeps.
+
+Two fits cover every figure-style claim:
+
+* geometric decay of the edge count across iterations (the per-iteration
+  constant-fraction progress of Lemmas 13/21) -- fit ``log m_t ~ t``;
+* affine growth of round counts in ``log n`` / ``log Delta`` (the O(log n) /
+  O(log Delta) theorems) -- fit ``rounds ~ a * x + b`` with an r^2 quality
+  score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LinearFit", "fit_geometric_decay", "fit_linear"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares fit ``y ~ slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r2: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def fit_linear(xs, ys) -> LinearFit:
+    """Ordinary least squares with an r^2 score."""
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two (x, y) points")
+    a = np.stack([x, np.ones_like(x)], axis=1)
+    coef, *_ = np.linalg.lstsq(a, y, rcond=None)
+    pred = a @ coef
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinearFit(slope=float(coef[0]), intercept=float(coef[1]), r2=r2)
+
+
+def fit_geometric_decay(edge_trace) -> float:
+    """Per-iteration retention rate ``r`` from ``m_t ~ m_0 * r^t``.
+
+    Returns the geometric-mean ratio of consecutive positive trace entries;
+    a value bounded away from 1 certifies constant-fraction progress.
+    """
+    trace = [t for t in edge_trace if t > 0]
+    if len(trace) < 2:
+        return 0.0
+    ratios = np.asarray(trace[1:], dtype=np.float64) / np.asarray(
+        trace[:-1], dtype=np.float64
+    )
+    ratios = ratios[ratios > 0]
+    if ratios.size == 0:
+        return 0.0
+    return float(np.exp(np.log(ratios).mean()))

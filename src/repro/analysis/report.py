@@ -1,0 +1,109 @@
+"""Human-readable run reports from result records.
+
+Turns a :class:`~repro.core.records.MISResult` /
+:class:`~repro.core.records.MatchingResult` into a markdown-ish text report:
+summary, per-iteration progress table, sparsification stage table, round
+ledger breakdown, and any fidelity events.  Used by the CLI (``--report``)
+and handy in notebooks; everything is derived from the records, so the
+report is as deterministic as the run.
+"""
+
+from __future__ import annotations
+
+from ..core.records import MatchingResult, MISResult
+from .tables import render_table
+
+__all__ = ["run_report"]
+
+
+def run_report(result: MISResult | MatchingResult, title: str | None = None) -> str:
+    """Render a full text report for a finished run."""
+    is_mis = isinstance(result, MISResult)
+    kind = "MIS" if is_mis else "maximal matching"
+    lines: list[str] = []
+    lines.append(f"# {title or f'deterministic {kind} run report'}")
+    lines.append("")
+
+    size = (
+        len(result.independent_set) if is_mis else result.pairs.shape[0]
+    )
+    lines.append(f"* solution size: {size}")
+    lines.append(f"* iterations: {result.iterations}")
+    lines.append(f"* charged MPC rounds: {result.rounds}")
+    lines.append(
+        f"* machine space high-water: {result.max_machine_words}"
+        f"/{result.space_limit} words"
+    )
+    if is_mis and result.stages_compressed:
+        lines.append(
+            f"* Section-5 run: {result.stages_compressed} compressed stages, "
+            f"{result.num_colors} colors"
+        )
+    lines.append("")
+
+    if result.records:
+        rows = [
+            (
+                rec.iteration,
+                rec.edges_before,
+                rec.edges_after,
+                f"{rec.removed_fraction:.3f}",
+                rec.i_star,
+                len(rec.stages),
+                f"{rec.selection_value:.1f}",
+                f"{rec.selection_target:.1f}",
+                rec.selection_trials,
+                "y" if rec.selection_satisfied else "n",
+            )
+            for rec in result.records
+        ]
+        lines.append(
+            render_table(
+                "per-iteration progress",
+                ["it", "|E| before", "|E| after", "removed", "i*", "stages",
+                 "objective", "target", "trials", "ok"],
+                rows,
+            )
+        )
+        lines.append("")
+
+    stage_rows = [
+        (
+            rec.iteration,
+            s.stage,
+            s.kind,
+            s.items_before,
+            s.items_after,
+            f"{s.degree_decay_measured:.3f}",
+            f"{s.degree_decay_ideal:.3f}",
+            "y" if s.all_good else "n",
+            s.trials,
+        )
+        for rec in result.records
+        for s in rec.stages
+    ]
+    if stage_rows:
+        lines.append(
+            render_table(
+                "sparsification stages",
+                ["it", "j", "kind", "before", "after", "decay", "ideal",
+                 "all good", "trials"],
+                stage_rows,
+            )
+        )
+        lines.append("")
+
+    ledger_rows = sorted(
+        (k, v) for k, v in result.rounds_by_category.items() if k != "total"
+    )
+    if ledger_rows:
+        lines.append(render_table("round ledger", ["category", "rounds"], ledger_rows))
+        lines.append("")
+
+    if result.fidelity_events:
+        lines.append("## fidelity events")
+        for e in result.fidelity_events:
+            lines.append(f"* {e}")
+        lines.append("")
+
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Closed-form theory bounds from the paper, used by benches and tests.
+
+Each function instantiates a bound with the explicit constants the paper
+derives, so measured quantities can be reported as "measured / bound" ratios
+(the reproduction's analogue of matching a table's numbers).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "lowdeg_round_bound",
+    "matching_iteration_bound",
+    "mis_iteration_bound",
+    "per_machine_space",
+    "seed_bits_colors",
+    "seed_bits_ids",
+    "total_space_bound",
+]
+
+
+def matching_iteration_bound(m: int, delta: float) -> float:
+    """Section 3.4: iterations ``<= log_{1/(1 - delta/536)} |E|``.
+
+    Each matching iteration removes at least ``delta |E| / 536`` edges.
+    """
+    if m <= 1:
+        return 1.0
+    rate = 1.0 - delta / 536.0
+    return math.log(m) / -math.log(rate)
+
+
+def mis_iteration_bound(m: int, delta: float) -> float:
+    """Section 4.4: iterations ``<= log_{1/(1 - delta^2/400)} |E|``."""
+    if m <= 1:
+        return 1.0
+    rate = 1.0 - delta * delta / 400.0
+    return math.log(m) / -math.log(rate)
+
+
+def lowdeg_round_bound(
+    n: int, max_degree: int, c_stage: float = 4.0, c_pre: float = 4.0
+) -> float:
+    """Theorem 1 shape: ``c_stage * log Delta + c_pre * log log n`` rounds."""
+    d = max(max_degree, 2)
+    nn = max(n, 4)
+    return c_stage * math.log2(d) + c_pre * math.log2(math.log2(nn))
+
+
+def per_machine_space(n: int, eps: float, factor: float = 32.0) -> int:
+    """``S = factor * n^eps`` words (Theorems 7/14)."""
+    return max(4, math.ceil(factor * max(n, 2) ** eps))
+
+
+def total_space_bound(n: int, m: int, eps: float, factor: float = 16.0) -> int:
+    """``O(m + n^{1+eps})`` total words."""
+    return math.ceil(factor * (m + max(n, 2) ** (1.0 + eps)))
+
+
+def seed_bits_ids(n: int) -> int:
+    """Pairwise seed over ids: ``2 ceil(log2 q)``, ``q = Theta(n)``."""
+    return 2 * max(1, math.ceil(math.log2(max(n, 2))))
+
+
+def seed_bits_colors(num_colors: int) -> int:
+    """Section-5 seed over colors: ``2 ceil(log2 q*)``, ``q* = Theta(C)``."""
+    return 2 * max(1, math.ceil(math.log2(max(num_colors, 2))))

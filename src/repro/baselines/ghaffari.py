@@ -1,0 +1,75 @@
+"""Ghaffari's randomized MIS [21] (simplified; O(log Delta) + tail).
+
+The desire-level algorithm underlying the Censor-Hillel et al. [15]
+derandomization that the paper compares against: each node maintains a
+marking probability ``p_v`` (its *desire level*); per round every node marks
+itself with probability ``p_v``; a marked node with no marked neighbour
+joins the MIS.  Desire levels halve when the neighbourhood is "heavy"
+(``sum_{u ~ v} p_u >= 2``) and double (capped at 1/2) otherwise.
+
+Included as the randomized comparator for the CONGESTED CLIQUE benchmark
+(T8): its round count is ``O(log Delta)`` until the graph shatters, after
+which a clean-up finishes the remainder (here: the same loop runs until
+done; the trace lets benches measure the two regimes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from .luby import BaselineResult
+
+__all__ = ["ghaffari_mis"]
+
+
+def ghaffari_mis(
+    g: Graph, seed: int, *, max_iterations: int = 10_000
+) -> BaselineResult:
+    rng = np.random.default_rng(seed)
+    p = np.full(g.n, 0.5)
+    in_mis = np.zeros(g.n, dtype=bool)
+    removed = np.zeros(g.n, dtype=bool)
+    cur = g
+    trace: list[int] = []
+    it = 0
+    while cur.m > 0:
+        it += 1
+        if it > max_iterations:
+            raise RuntimeError("Ghaffari MIS failed to converge")
+        trace.append(cur.m)
+        iso = cur.isolated_mask() & ~removed
+        in_mis |= iso
+        removed |= iso
+
+        live = cur.degrees() > 0
+        # Effective desire of neighbours.
+        nbr_desire = np.zeros(g.n)
+        np.add.at(nbr_desire, cur.edges_u, p[cur.edges_v])
+        np.add.at(nbr_desire, cur.edges_v, p[cur.edges_u])
+
+        marked = live & (rng.random(g.n) < p)
+        marked_nbr = np.zeros(g.n, dtype=bool)
+        mu = marked[cur.edges_u]
+        mv = marked[cur.edges_v]
+        np.logical_or.at(marked_nbr, cur.edges_u, mv)
+        np.logical_or.at(marked_nbr, cur.edges_v, mu)
+        joins = marked & ~marked_nbr
+
+        dominated = cur.degrees_toward(joins) > 0
+        kill = joins | dominated
+        in_mis |= joins
+        removed |= kill
+        cur = cur.remove_vertices(kill)
+
+        # Desire-level update on surviving nodes.
+        heavy = nbr_desire >= 2.0
+        p = np.where(heavy, p / 2.0, np.minimum(2.0 * p, 0.5))
+    in_mis |= ~removed
+    return BaselineResult(
+        solution=np.nonzero(in_mis)[0].astype(np.int64),
+        iterations=it,
+        rounds=it,
+        edge_trace=tuple(trace),
+        algorithm="ghaffari_mis",
+    )

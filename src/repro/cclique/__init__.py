@@ -1,0 +1,12 @@
+"""CONGESTED CLIQUE substrate and algorithms (Corollary 2)."""
+
+from .model import LENZEN_ROUNDS, CongestedCliqueContext
+from .mis_cc import CCResult, cc_maximal_matching, cc_mis
+
+__all__ = [
+    "CCResult",
+    "CongestedCliqueContext",
+    "LENZEN_ROUNDS",
+    "cc_maximal_matching",
+    "cc_mis",
+]

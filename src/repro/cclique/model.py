@@ -1,0 +1,85 @@
+"""CONGESTED CLIQUE model substrate (paper Section 1.1.2).
+
+``n`` nodes on a complete communication graph; per round, every ordered pair
+may exchange one ``O(log n)``-bit message, so a node sends and receives at
+most ``n - 1`` messages per round.  Lenzen's routing theorem [41] upgrades
+this: any routing instance in which every node is source and destination of
+at most ``n`` messages can be delivered in ``O(1)`` rounds -- the primitive
+behind "collect the remaining graph onto one node" (the trick that lets
+[15]-style algorithms finish once ``|E| <= n``).
+
+As with :mod:`repro.mpc`, data movement is simulated centrally; the context
+*verifies* the model constraints (message counts per node) and charges
+rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mpc.ledger import RoundLedger
+
+__all__ = ["CongestedCliqueContext", "LENZEN_ROUNDS"]
+
+#: Rounds charged per Lenzen routing invocation (the theorem gives O(1);
+#: Lenzen's construction uses 16, commonly cited as "2 phases"; we charge 2).
+LENZEN_ROUNDS = 2
+
+
+@dataclass
+class CongestedCliqueContext:
+    """Model state for a CONGESTED CLIQUE run on ``n`` nodes."""
+
+    n: int
+    ledger: RoundLedger = field(default_factory=RoundLedger)
+
+    @property
+    def rounds(self) -> int:
+        return self.ledger.total
+
+    @property
+    def word_bits(self) -> int:
+        """Message size ``O(log n)`` -- one edge / one id per message."""
+        return max(1, int(np.ceil(np.log2(max(self.n, 2)))) * 2)
+
+    def charge(self, category: str, rounds: int = 1) -> None:
+        self.ledger.charge(category, rounds)
+
+    def charge_broadcast(self, category: str = "broadcast") -> None:
+        """One node sends the same O(log n)-bit value to everyone: 1 round."""
+        self.ledger.charge(category, 1)
+
+    def charge_aggregate(self, category: str = "aggregate") -> None:
+        """Sum/min of one value per node to a leader: 1 round (star)."""
+        self.ledger.charge(category, 1)
+
+    def lenzen_route(
+        self,
+        send_counts: np.ndarray,
+        recv_counts: np.ndarray,
+        category: str = "route",
+    ) -> None:
+        """Charge a Lenzen routing step after validating its feasibility.
+
+        ``send_counts[v]`` / ``recv_counts[v]`` are messages sourced at /
+        destined to node ``v``; each must be at most ``n``.
+        """
+        send = np.asarray(send_counts)
+        recv = np.asarray(recv_counts)
+        if send.size and int(send.max(initial=0)) > self.n:
+            raise ValueError(
+                f"Lenzen routing infeasible: a node sends {int(send.max())} > n"
+            )
+        if recv.size and int(recv.max(initial=0)) > self.n:
+            raise ValueError(
+                f"Lenzen routing infeasible: a node receives {int(recv.max())} > n"
+            )
+        self.ledger.charge(category, LENZEN_ROUNDS)
+
+    def charge_collect_graph(self, m: int, category: str = "collect") -> None:
+        """Collect ``m <= n`` edges onto a single node (Lenzen): O(1) rounds."""
+        if m > self.n:
+            raise ValueError(f"cannot collect {m} edges onto one node (> n)")
+        self.ledger.charge(category, LENZEN_ROUNDS)

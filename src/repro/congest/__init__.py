@@ -1,0 +1,12 @@
+"""CONGEST model extension (the paper's conclusion, made executable)."""
+
+from .model import CongestContext, bfs_depth
+from .mis_congest import CongestMISResult, congest_maximal_matching, congest_mis
+
+__all__ = [
+    "CongestContext",
+    "CongestMISResult",
+    "bfs_depth",
+    "congest_maximal_matching",
+    "congest_mis",
+]

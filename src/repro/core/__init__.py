@@ -1,0 +1,54 @@
+"""Core algorithms: the paper's contribution (Sections 3, 4 and 5)."""
+
+from .derived import (
+    ColoringViaMISResult,
+    VertexCoverResult,
+    deterministic_coloring,
+    deterministic_vertex_cover,
+    is_vertex_cover,
+)
+from .good_nodes import (
+    GoodNodesMatching,
+    GoodNodesMIS,
+    degree_class_of,
+    good_nodes_matching,
+    good_nodes_mis,
+)
+from .lowdeg import lowdeg_maximal_matching, lowdeg_mis, phases_per_stage
+from .luby_step import LubyStepInfo, luby_matching_step, luby_mis_step
+from .matching import deterministic_maximal_matching
+from .mis import deterministic_mis
+from .params import Params
+from .records import IterationRecord, MatchingResult, MISResult, StageRecord
+from .sparsify_edges import EdgeSparsifyResult, sparsify_edges
+from .sparsify_nodes import NodeSparsifyResult, sparsify_nodes
+
+__all__ = [
+    "ColoringViaMISResult",
+    "EdgeSparsifyResult",
+    "VertexCoverResult",
+    "deterministic_coloring",
+    "deterministic_vertex_cover",
+    "is_vertex_cover",
+    "GoodNodesMIS",
+    "GoodNodesMatching",
+    "IterationRecord",
+    "LubyStepInfo",
+    "MISResult",
+    "MatchingResult",
+    "NodeSparsifyResult",
+    "Params",
+    "StageRecord",
+    "degree_class_of",
+    "deterministic_maximal_matching",
+    "deterministic_mis",
+    "good_nodes_matching",
+    "lowdeg_maximal_matching",
+    "lowdeg_mis",
+    "phases_per_stage",
+    "good_nodes_mis",
+    "luby_matching_step",
+    "luby_mis_step",
+    "sparsify_edges",
+    "sparsify_nodes",
+]

@@ -1,0 +1,89 @@
+"""Top-level dispatch (Theorem 1): pick the regime by maximum degree.
+
+The paper runs the Section-5 algorithm when ``Delta <= n^{delta}`` and the
+general ``O(log n)`` algorithm otherwise (the latter is ``O(log Delta)``
+rounds in that regime because ``log Delta = Theta(log n)``).
+
+At the finite sizes a simulation runs, ``n^{delta}`` is a very small number,
+so a literal threshold would never select the low-degree path.  The
+*operational* requirement behind the paper's threshold is that 2-hop (and
+``r``-hop, after shrinking ``ell``) neighbourhoods fit in machine space; we
+therefore dispatch on ``Delta^2 + 1 <= S`` by default (``paper_rule=True``
+restores the literal ``Delta <= n^{delta}`` rule).  The low-degree driver
+itself re-verifies ball sizes against ``S`` and shrinks ``ell`` as needed,
+so the dispatch rule only affects which theorem's round bound applies.
+"""
+
+from __future__ import annotations
+
+from ..graphs.graph import Graph
+from .lowdeg import lowdeg_maximal_matching, lowdeg_mis
+from .matching import deterministic_maximal_matching
+from .mis import deterministic_mis
+from .params import Params
+from .records import MatchingResult, MISResult
+
+__all__ = ["maximal_independent_set", "maximal_matching", "uses_lowdeg_path"]
+
+
+def uses_lowdeg_path(
+    graph: Graph, params: Params, *, paper_rule: bool = False, for_matching: bool = False
+) -> bool:
+    """True iff the Section-5 path will be taken for this input."""
+    delta_max = graph.max_degree()
+    if delta_max == 0:
+        return True
+    if paper_rule:
+        return delta_max <= params.low_degree_threshold(graph.n)
+    from ..mpc.context import MPCContext
+
+    s = MPCContext(
+        n=graph.n, m=graph.m, eps=params.eps, space_factor=params.space_factor
+    ).S
+    eff = 2 * delta_max - 2 if for_matching else delta_max  # line-graph degree
+    return max(eff, 1) ** 2 + 1 <= s
+
+
+def maximal_independent_set(
+    graph: Graph,
+    *,
+    eps: float = 0.5,
+    params: Params | None = None,
+    force: str | None = None,
+    paper_rule: bool = False,
+) -> MISResult:
+    """Deterministic MIS, ``O(log Delta + log log n)`` rounds (Theorem 1).
+
+    ``force`` may be ``"general"`` or ``"lowdeg"`` to pin the code path.
+    """
+    params = params or Params(eps=eps)
+    if force == "general":
+        return deterministic_mis(graph, params)
+    if force == "lowdeg":
+        return lowdeg_mis(graph, params)
+    if force is not None:
+        raise ValueError(f"unknown force={force!r}")
+    if uses_lowdeg_path(graph, params, paper_rule=paper_rule):
+        return lowdeg_mis(graph, params)
+    return deterministic_mis(graph, params)
+
+
+def maximal_matching(
+    graph: Graph,
+    *,
+    eps: float = 0.5,
+    params: Params | None = None,
+    force: str | None = None,
+    paper_rule: bool = False,
+) -> MatchingResult:
+    """Deterministic maximal matching (Theorem 1); see MIS dispatch."""
+    params = params or Params(eps=eps)
+    if force == "general":
+        return deterministic_maximal_matching(graph, params)
+    if force == "lowdeg":
+        return lowdeg_maximal_matching(graph, params)
+    if force is not None:
+        raise ValueError(f"unknown force={force!r}")
+    if uses_lowdeg_path(graph, params, paper_rule=paper_rule, for_matching=True):
+        return lowdeg_maximal_matching(graph, params)
+    return deterministic_maximal_matching(graph, params)

@@ -1,0 +1,122 @@
+"""Run records: per-stage / per-iteration traces and result objects.
+
+Everything a benchmark or test might want to inspect about a run is captured
+here rather than printed: sparsification stage traces (the invariant
+measurements behind Lemmas 10/11/17/18), per-iteration progress (the
+Lemma 13/21 constants), seed-search effort, and the final solution plus the
+model accounting (rounds by category, space high-water marks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "IterationRecord",
+    "MISResult",
+    "MatchingResult",
+    "StageRecord",
+]
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One sparsification stage (Section 3.2 / 4.2)."""
+
+    stage: int  # j in 1..i-4 (0 = the trivial E* = E0 / Q' = Q0 case)
+    kind: str  # "edges" | "nodes"
+    items_before: int
+    items_after: int
+    sample_prob: float  # realised threshold probability (floor(p q) / q)
+    num_machines: int
+    max_load: int
+    seed: int
+    trials: int
+    slack_kappa: float  # realised slack multiplier (paper nominal: n^{0.1 delta})
+    escalations: int  # slack relaxations needed before an all-good seed
+    all_good: bool
+    # invariant (i): max over v of measured degree / implied bound (<= 1 when
+    # all_good), plus measured decay vs the paper's ideal n^{-j delta}.
+    degree_bound_ratio: float
+    degree_decay_measured: float
+    degree_decay_ideal: float
+    # invariant (ii): min over v in B of retained weight / implied lower
+    # bound (>= 1 when all_good), plus measured retention vs ideal.
+    retention_bound_ratio: float
+    retention_decay_measured: float
+    retention_decay_ideal: float
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One outer Luby iteration of Algorithm 2 / Algorithm 3."""
+
+    iteration: int
+    edges_before: int
+    edges_after: int
+    i_star: int
+    num_good_nodes: int
+    weight_b: float
+    stages: tuple[StageRecord, ...]
+    selection_value: float  # achieved objective sum_{v in N_h} d(v)
+    selection_target: float
+    selection_trials: int
+    selection_satisfied: bool
+    seed_bits: int
+    nodes_removed: int
+
+    @property
+    def removed_fraction(self) -> float:
+        if self.edges_before == 0:
+            return 0.0
+        return (self.edges_before - self.edges_after) / self.edges_before
+
+
+@dataclass(frozen=True)
+class MatchingResult:
+    """Result of the deterministic maximal matching algorithm (Theorem 7)."""
+
+    pairs: np.ndarray  # (k, 2) int64 matched endpoint pairs (original ids)
+    iterations: int
+    rounds: int
+    rounds_by_category: dict[str, int]
+    max_machine_words: int
+    space_limit: int
+    records: tuple[IterationRecord, ...] = field(repr=False)
+    fidelity_events: tuple[str, ...] = ()
+
+    @property
+    def matched_nodes(self) -> np.ndarray:
+        return np.unique(self.pairs.ravel()) if self.pairs.size else np.empty(
+            0, dtype=np.int64
+        )
+
+    def matching_mask(self, n: int) -> np.ndarray:
+        mask = np.zeros(n, dtype=bool)
+        if self.pairs.size:
+            mask[self.pairs.ravel()] = True
+        return mask
+
+
+@dataclass(frozen=True)
+class MISResult:
+    """Result of the deterministic MIS algorithm (Theorem 14)."""
+
+    independent_set: np.ndarray  # int64 node ids (original ids)
+    iterations: int
+    rounds: int
+    rounds_by_category: dict[str, int]
+    max_machine_words: int
+    space_limit: int
+    records: tuple[IterationRecord, ...] = field(repr=False)
+    fidelity_events: tuple[str, ...] = ()
+    stages_compressed: int = 0  # Section-5 runs: number of compressed stages
+    num_colors: int = 0  # Section-5 runs: palette size of the G^2 coloring
+
+    def mis_mask(self, n: int) -> np.ndarray:
+        mask = np.zeros(n, dtype=bool)
+        if self.independent_set.size:
+            mask[self.independent_set] = True
+        return mask

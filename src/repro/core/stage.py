@@ -1,0 +1,238 @@
+"""Shared machinery for one derandomized subsampling stage.
+
+Both sparsification procedures (edges, Section 3.2; nodes, Section 4.2) have
+the same skeleton per stage ``j``:
+
+1. distribute each node's current items across a *machine group* with
+   ``chunk = n^{4 delta}`` items per machine ("type A/B/Q machines");
+2. declare a machine *good* for a hash function ``h`` when its sampled-item
+   statistic lies within ``mu_x +- lambda_x`` (upper-only for pure degree
+   bounds, lower-only for weight-retention bounds);
+3. deterministically find a seed making **all** machines good;
+4. keep the sampled items.
+
+This module implements steps 2-3 generically.  The slack is
+``lambda_x = kappa * (sqrt(e_x) + 1)`` with ``kappa`` starting at the
+paper's nominal ``n^{0.1 delta}`` and escalating by a fixed factor if no
+all-good seed is found within the scan budget (each escalation is recorded
+as a fidelity event; see DESIGN.md "Concentration slack").  Because goodness
+of all machines *implies* the stage invariants by the Lemma 10/11/17/18
+algebra, the caller can derive per-node bounds directly from the realised
+``(mu_x, lambda_x)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..derand.strategies import SeedSelection, select_seed
+from ..hashing.kwise import KWiseHashFamily
+from ..mpc.partition import MachineGrouping
+from .params import Params
+
+__all__ = [
+    "MachineGroupSpec",
+    "StageSearchOutcome",
+    "node_level_spec",
+    "run_stage_seed_search",
+]
+
+
+@dataclass
+class MachineGroupSpec:
+    """One machine group participating in a stage's goodness test.
+
+    ``unit_ids[i]`` is the hashed unit (edge id or node id) of item ``i``;
+    ``weights`` (optional) are per-item weights in ``(0, 1]`` for weighted
+    retention statistics (the MIS type-B machines sum ``n^{(i-1)delta}/d(u)``
+    terms); ``check_upper`` / ``check_lower`` select which side of the
+    concentration window this group enforces.
+
+    ``virtual=True`` marks a *node-level* goodness group: one "machine" per
+    node holding the node's whole item set.  These do not correspond to
+    physical machines (no space is charged for them); they enforce the
+    per-node invariant window directly, which matters at finite sizes where
+    ``chunk = n^{4 delta}`` is so small that per-chunk windows are vacuous
+    (asymptotically the chunk windows imply the node windows -- that *is*
+    the Lemma 10/11/17/18 summation -- so this adds nothing in the limit).
+    """
+
+    name: str
+    grouping: MachineGrouping
+    unit_ids: np.ndarray
+    weights: np.ndarray | None = None
+    check_upper: bool = True
+    check_lower: bool = True
+    virtual: bool = False
+
+    def __post_init__(self) -> None:
+        if self.unit_ids.shape[0] != self.grouping.num_items:
+            raise ValueError(f"group {self.name}: unit_ids/grouping size mismatch")
+        if self.weights is not None and self.weights.shape != self.unit_ids.shape:
+            raise ValueError(f"group {self.name}: weights shape mismatch")
+
+    def weight_totals(self) -> np.ndarray:
+        """Per-machine total weight (item count if unweighted)."""
+        w = (
+            self.weights
+            if self.weights is not None
+            else np.ones(self.grouping.num_items, dtype=np.float64)
+        )
+        return np.bincount(
+            self.grouping.machine_of_item,
+            weights=w,
+            minlength=self.grouping.num_machines,
+        )
+
+    def sampled_totals(self, sampled_mask_of_item: np.ndarray) -> np.ndarray:
+        """Per-machine sampled weight under a boolean per-item mask."""
+        w = (
+            self.weights
+            if self.weights is not None
+            else np.ones(self.grouping.num_items, dtype=np.float64)
+        )
+        return np.bincount(
+            self.grouping.machine_of_item,
+            weights=w * sampled_mask_of_item,
+            minlength=self.grouping.num_machines,
+        )
+
+
+def node_level_spec(
+    name: str,
+    groups: np.ndarray,
+    units: np.ndarray,
+    *,
+    weights: np.ndarray | None = None,
+    check_upper: bool = True,
+    check_lower: bool = True,
+) -> MachineGroupSpec:
+    """Build a virtual one-machine-per-node goodness group (see class doc)."""
+    from ..mpc.partition import chunk_items_by_group
+
+    whole = max(1, int(groups.size) + 1)  # chunk larger than any group
+    return MachineGroupSpec(
+        name=name,
+        grouping=chunk_items_by_group(groups, whole),
+        unit_ids=units,
+        weights=weights,
+        check_upper=check_upper,
+        check_lower=check_lower,
+        virtual=True,
+    )
+
+
+@dataclass(frozen=True)
+class StageSearchOutcome:
+    """Chosen seed plus realised window parameters, per group."""
+
+    seed: int
+    kappa: float
+    escalations: int
+    trials: int
+    all_good: bool
+    p_real: float
+    selection: SeedSelection
+    # Per group (same order as the input specs): realised per-machine
+    # expectation mu_x and slack lambda_x under the chosen kappa.
+    mus: tuple[np.ndarray, ...]
+    lambdas: tuple[np.ndarray, ...]
+
+
+def run_stage_seed_search(
+    family: KWiseHashFamily,
+    prob: float,
+    groups: list[MachineGroupSpec],
+    params: Params,
+    n: int,
+    fidelity: list[str],
+    scan_start: int = 1,
+) -> StageSearchOutcome:
+    """Find a seed making all machines in all groups good (Sections 3.2/4.2).
+
+    Deterministic: the scan order and the escalation schedule are fixed.
+    ``scan_start`` gives each stage a *disjoint* region of the canonical seed
+    order -- the deterministic analogue of the paper drawing a fresh
+    independent hash function per stage.  (Re-scanning the previous stage's
+    region could re-select the seed that defined the current item set, whose
+    sampling predicate is idempotent on it and therefore makes no progress.)
+    """
+    threshold = family.threshold(prob)
+    p_real = threshold / family.range
+    total_machines = sum(g.grouping.num_machines for g in groups)
+
+    # Precompute per-group static data.
+    totals = [g.weight_totals() for g in groups]
+    base_slacks = [
+        np.sqrt(g.grouping.loads.astype(np.float64)) + 1.0 for g in groups
+    ]
+    mus = [p_real * t for t in totals]
+
+    def goodness_count(seed: int, kappa: float) -> int:
+        good = 0
+        for g, mu, base in zip(groups, mus, base_slacks):
+            sampled = family.evaluate(seed, g.unit_ids) < np.uint64(threshold)
+            got = g.sampled_totals(sampled)
+            lam = kappa * base
+            ok = np.ones(g.grouping.num_machines, dtype=bool)
+            if g.check_upper:
+                ok &= got <= mu + lam + 1e-9
+            if g.check_lower:
+                ok &= got >= mu - lam - 1e-9
+            good += int(ok.sum())
+        return good
+
+    kappa = float(max(n, 2) ** (0.1 * params.delta_value))
+    escalations = 0
+    trials_total = 0
+    best: SeedSelection | None = None
+    while True:
+        kap = kappa  # bind for the closure
+        sel = select_seed(
+            family.size,
+            lambda s: float(goodness_count(s, kap)),
+            strategy="scan",
+            target=float(total_machines),
+            max_trials=params.max_scan_trials,
+            start=max(1, scan_start),  # >= 1 skips the constant-zero hash
+        )
+        trials_total += sel.trials
+        if best is None or sel.value > best.value:
+            best = sel
+        if sel.satisfied:
+            lam = [kappa * b for b in base_slacks]
+            return StageSearchOutcome(
+                seed=sel.seed,
+                kappa=kappa,
+                escalations=escalations,
+                trials=trials_total,
+                all_good=True,
+                p_real=p_real,
+                selection=sel,
+                mus=tuple(mus),
+                lambdas=tuple(lam),
+            )
+        escalations += 1
+        if escalations > params.max_slack_escalations:
+            fidelity.append(
+                f"stage seed search exhausted escalations "
+                f"(best {best.value:.0f}/{total_machines} machines good)"
+            )
+            lam = [kappa * b for b in base_slacks]
+            return StageSearchOutcome(
+                seed=best.seed,
+                kappa=kappa,
+                escalations=escalations,
+                trials=trials_total,
+                all_good=False,
+                p_real=p_real,
+                selection=best,
+                mus=tuple(mus),
+                lambdas=tuple(lam),
+            )
+        fidelity.append(
+            f"stage slack escalated to kappa={kappa * params.slack_escalation:.3f}"
+        )
+        kappa *= params.slack_escalation

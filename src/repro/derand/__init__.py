@@ -1,0 +1,19 @@
+"""Derandomization toolkit: seed selection + concentration estimators."""
+
+from .estimators import (
+    bellare_rompel_bound,
+    chebyshev_bound,
+    paper_nominal_slack,
+    slack_for_failure,
+)
+from .strategies import SeedSelection, Strategy, select_seed
+
+__all__ = [
+    "SeedSelection",
+    "Strategy",
+    "bellare_rompel_bound",
+    "chebyshev_bound",
+    "paper_nominal_slack",
+    "select_seed",
+    "slack_for_failure",
+]

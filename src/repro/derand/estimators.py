@@ -1,0 +1,79 @@
+"""Concentration bounds used to size goodness slacks (paper Lemma 9).
+
+The sparsification stages declare a machine *good* for a hash function ``h``
+when its sampled-item count lies within ``mu +- lambda``.  The paper sets
+``lambda = n^{0.1 delta} sqrt(e_x)`` and invokes the Bellare-Rompel moment
+bound (their Lemma 9) to get per-machine failure probability ``n^{-5}``.
+
+At the finite sizes a simulation runs, the asymptotic slack can be smaller
+than what existence of an all-good seed requires, so we expose *solvers*:
+given the machine loads, the sampling rate and a target ``E[#bad] < 1``
+budget, return the minimal slack the chosen independence level certifies.
+The run then uses ``max(paper's nominal slack, certified slack)`` and the
+invariant checks / benchmarks report both.
+
+Functions
+---------
+``bellare_rompel_bound``   -- the tail bound of Lemma 9.
+``chebyshev_bound``        -- the pairwise (c = 2) variance bound.
+``slack_for_failure``      -- invert either bound for ``lambda``.
+``paper_nominal_slack``    -- ``n^{0.1 delta} sqrt(e_x)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "bellare_rompel_bound",
+    "chebyshev_bound",
+    "paper_nominal_slack",
+    "slack_for_failure",
+]
+
+
+def bellare_rompel_bound(c: int, t: float, lam: float) -> float:
+    """Lemma 9 tail: ``Pr[|Z - mu| >= lam] <= 2 (c t / lam^2)^{c/2}``.
+
+    ``Z`` is a sum of ``t`` c-wise independent variables in [0, 1];
+    ``c >= 4`` must be even.
+    """
+    if c < 4 or c % 2 != 0:
+        raise ValueError("Bellare-Rompel requires even c >= 4")
+    if lam <= 0:
+        return 1.0
+    return min(1.0, 2.0 * (c * t / (lam * lam)) ** (c / 2))
+
+
+def chebyshev_bound(variance: float, lam: float) -> float:
+    """Pairwise-independence tail: ``Pr[|Z - mu| >= lam] <= Var / lam^2``."""
+    if lam <= 0:
+        return 1.0
+    return min(1.0, variance / (lam * lam))
+
+
+def slack_for_failure(
+    c: int, t: float, fail_prob: float, *, p: float | None = None
+) -> float:
+    """Minimal ``lam`` with tail probability ``<= fail_prob``.
+
+    ``c = 2`` uses Chebyshev with variance ``t p (1 - p)`` (requires ``p``,
+    the Bernoulli rate; falls back to the worst case ``t / 4``); ``c >= 4``
+    inverts Bellare-Rompel: ``lam = sqrt(c t) * (2 / fail)^{1/c}``.
+    """
+    if fail_prob <= 0 or fail_prob > 1:
+        raise ValueError("fail_prob must be in (0, 1]")
+    if t <= 0:
+        return 0.0
+    if c == 2:
+        var = t * p * (1.0 - p) if p is not None else t / 4.0
+        return math.sqrt(var / fail_prob)
+    return math.sqrt(c * t) * (2.0 / fail_prob) ** (1.0 / c)
+
+
+def paper_nominal_slack(n: int, delta: float, loads: np.ndarray) -> np.ndarray:
+    """The paper's slack ``n^{0.1 delta} sqrt(e_x)`` per machine load."""
+    loads = np.asarray(loads, dtype=np.float64)
+    return (max(n, 2) ** (0.1 * delta)) * np.sqrt(loads)

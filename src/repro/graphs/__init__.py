@@ -1,0 +1,65 @@
+"""Graph substrate: CSR graphs, generators, powers, line graphs, coloring."""
+
+from .graph import Graph
+from .generators import (
+    bounded_degree_graph,
+    caterpillar_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    gnp_random_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    power_law_graph,
+    random_bipartite_graph,
+    random_regular_graph,
+    random_tree,
+    star_graph,
+)
+from .linegraph import line_graph, line_graph_size, matching_from_line_mis
+from .power import adjacency_matrix, ball_sizes, r_hop_balls, square_graph
+from .coloring import (
+    ColoringResult,
+    distance2_coloring,
+    greedy_coloring,
+    linial_coloring,
+    validate_coloring,
+    validate_distance2_coloring,
+)
+from .io import read_edge_list, write_edge_list
+
+__all__ = [
+    "ColoringResult",
+    "Graph",
+    "adjacency_matrix",
+    "ball_sizes",
+    "bounded_degree_graph",
+    "caterpillar_graph",
+    "complete_bipartite_graph",
+    "complete_graph",
+    "cycle_graph",
+    "distance2_coloring",
+    "empty_graph",
+    "gnp_random_graph",
+    "greedy_coloring",
+    "grid_graph",
+    "hypercube_graph",
+    "line_graph",
+    "line_graph_size",
+    "linial_coloring",
+    "matching_from_line_mis",
+    "path_graph",
+    "power_law_graph",
+    "r_hop_balls",
+    "random_bipartite_graph",
+    "random_regular_graph",
+    "random_tree",
+    "read_edge_list",
+    "square_graph",
+    "star_graph",
+    "validate_coloring",
+    "validate_distance2_coloring",
+    "write_edge_list",
+]

@@ -1,0 +1,237 @@
+"""Deterministic-by-seed graph generators for experiments and tests.
+
+Every generator takes an explicit integer ``seed`` (where randomness is
+involved) and returns a :class:`~repro.graphs.graph.Graph`.  Workload intent:
+
+* ``gnp_random_graph`` -- the classic sweep workload for the O(log n) bounds.
+* ``power_law_graph`` (preferential attachment) -- skew-degree inputs where
+  the degree-class machinery (sets ``C_i``) is exercised non-trivially.
+* ``random_regular_graph`` / ``bounded_degree_graph`` -- the Section-5
+  low-degree regime (``Delta <= n^delta``).
+* ``random_bipartite_graph`` -- matching-flavoured workloads.
+* structured graphs (path, cycle, star, complete, grid, tree, caterpillar,
+  hypercube) -- edge cases and adversarial shapes for tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "bounded_degree_graph",
+    "caterpillar_graph",
+    "complete_bipartite_graph",
+    "complete_graph",
+    "cycle_graph",
+    "empty_graph",
+    "gnp_random_graph",
+    "grid_graph",
+    "hypercube_graph",
+    "path_graph",
+    "power_law_graph",
+    "random_bipartite_graph",
+    "random_regular_graph",
+    "random_tree",
+    "star_graph",
+]
+
+
+def empty_graph(n: int) -> Graph:
+    return Graph.empty(n)
+
+
+def path_graph(n: int) -> Graph:
+    if n <= 1:
+        return Graph.empty(max(n, 0))
+    u = np.arange(n - 1, dtype=np.int64)
+    return Graph.from_edges(n, np.stack([u, u + 1], axis=1))
+
+
+def cycle_graph(n: int) -> Graph:
+    if n < 3:
+        return path_graph(n)
+    u = np.arange(n, dtype=np.int64)
+    v = (u + 1) % n
+    return Graph.from_edges(n, np.stack([u, v], axis=1))
+
+
+def star_graph(n: int) -> Graph:
+    """Hub 0 connected to ``n - 1`` leaves."""
+    if n <= 1:
+        return Graph.empty(max(n, 0))
+    leaves = np.arange(1, n, dtype=np.int64)
+    centre = np.zeros(n - 1, dtype=np.int64)
+    return Graph.from_edges(n, np.stack([centre, leaves], axis=1))
+
+
+def complete_graph(n: int) -> Graph:
+    iu = np.triu_indices(n, k=1)
+    return Graph.from_edges(n, np.stack([iu[0], iu[1]], axis=1))
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    left = np.repeat(np.arange(a, dtype=np.int64), b)
+    right = a + np.tile(np.arange(b, dtype=np.int64), a)
+    return Graph.from_edges(a + b, np.stack([left, right], axis=1))
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """rows x cols lattice; node ``r * cols + c``."""
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horiz = np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1)
+    vert = np.stack([ids[:-1, :].ravel(), ids[1:, :].ravel()], axis=1)
+    return Graph.from_edges(rows * cols, np.concatenate([horiz, vert]))
+
+
+def hypercube_graph(dim: int) -> Graph:
+    """dim-dimensional boolean hypercube (n = 2^dim, Delta = dim)."""
+    n = 1 << dim
+    nodes = np.arange(n, dtype=np.int64)
+    edges = []
+    for d in range(dim):
+        mask = (nodes >> d) & 1 == 0
+        u = nodes[mask]
+        edges.append(np.stack([u, u | (1 << d)], axis=1))
+    return Graph.from_edges(n, np.concatenate(edges) if edges else [])
+
+
+def caterpillar_graph(spine: int, legs: int) -> Graph:
+    """Path of ``spine`` nodes, each with ``legs`` pendant leaves."""
+    edges = []
+    if spine > 1:
+        u = np.arange(spine - 1, dtype=np.int64)
+        edges.append(np.stack([u, u + 1], axis=1))
+    n = spine
+    for s in range(spine):
+        leaf_ids = np.arange(n, n + legs, dtype=np.int64)
+        edges.append(np.stack([np.full(legs, s, dtype=np.int64), leaf_ids], axis=1))
+        n += legs
+    return Graph.from_edges(n, np.concatenate(edges) if edges else [])
+
+
+def gnp_random_graph(n: int, p: float, seed: int) -> Graph:
+    """Erdos-Renyi G(n, p).
+
+    Sampled by drawing a Bernoulli mask over the upper triangle; memory is
+    O(n^2 / 8) via boolean masks, fine for the n <= ~20k used in experiments.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    if n <= 1 or p == 0.0:
+        return Graph.empty(max(n, 0))
+    iu = np.triu_indices(n, k=1)
+    mask = rng.random(iu[0].size) < p
+    return Graph.from_edges(n, np.stack([iu[0][mask], iu[1][mask]], axis=1))
+
+
+def random_tree(n: int, seed: int) -> Graph:
+    """Uniform-ish random tree: node i attaches to a uniform earlier node."""
+    if n <= 1:
+        return Graph.empty(max(n, 0))
+    rng = np.random.default_rng(seed)
+    children = np.arange(1, n, dtype=np.int64)
+    parents = (rng.random(n - 1) * children).astype(np.int64)
+    return Graph.from_edges(n, np.stack([parents, children], axis=1))
+
+
+def random_bipartite_graph(a: int, b: int, p: float, seed: int) -> Graph:
+    """Bipartite G(a, b, p): left ids [0, a), right ids [a, a+b)."""
+    rng = np.random.default_rng(seed)
+    left = np.repeat(np.arange(a, dtype=np.int64), b)
+    right = a + np.tile(np.arange(b, dtype=np.int64), a)
+    mask = rng.random(left.size) < p
+    return Graph.from_edges(a + b, np.stack([left[mask], right[mask]], axis=1))
+
+
+def random_regular_graph(n: int, d: int, seed: int) -> Graph:
+    """Approximately d-regular graph via repeated stub matching.
+
+    Self-loops/duplicates from the pairing are dropped, so degrees can fall
+    slightly below ``d``; max degree never exceeds ``d``.  (Exact regularity
+    is irrelevant to the algorithms; the bound ``Delta <= d`` is what the
+    Section-5 regime needs.)
+    """
+    if d >= n:
+        raise ValueError("need d < n")
+    if (n * d) % 2 != 0:
+        raise ValueError("n * d must be even")
+    rng = np.random.default_rng(seed)
+    stubs = np.repeat(np.arange(n, dtype=np.int64), d)
+    rng.shuffle(stubs)
+    pairs = stubs.reshape(-1, 2)
+    return Graph.from_edges(n, pairs)
+
+
+def bounded_degree_graph(n: int, max_deg: int, p_fill: float, seed: int) -> Graph:
+    """Random graph with a hard degree cap (Section-5 workloads).
+
+    Greedy edge insertion from a shuffled candidate stream, rejecting edges
+    that would exceed ``max_deg`` at either endpoint.  ``p_fill`` in (0, 1]
+    controls density relative to the cap.
+    """
+    if max_deg < 0:
+        raise ValueError("max_deg must be >= 0")
+    rng = np.random.default_rng(seed)
+    target_edges = int(p_fill * n * max_deg / 2)
+    deg = np.zeros(n, dtype=np.int64)
+    chosen: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    # Draw in batches; loop is over batches, not edges.
+    attempts = 0
+    while len(chosen) < target_edges and attempts < 20:
+        attempts += 1
+        us = rng.integers(0, n, size=4 * max(target_edges, 1))
+        vs = rng.integers(0, n, size=4 * max(target_edges, 1))
+        for u, v in zip(us.tolist(), vs.tolist()):
+            if u == v:
+                continue
+            a, b = (u, v) if u < v else (v, u)
+            if (a, b) in seen:
+                continue
+            if deg[a] >= max_deg or deg[b] >= max_deg:
+                continue
+            seen.add((a, b))
+            deg[a] += 1
+            deg[b] += 1
+            chosen.append((a, b))
+            if len(chosen) >= target_edges:
+                break
+    return Graph.from_edges(n, np.asarray(chosen, dtype=np.int64).reshape(-1, 2))
+
+
+def power_law_graph(n: int, attach: int, seed: int) -> Graph:
+    """Barabasi-Albert style preferential attachment (``attach`` edges/node).
+
+    Produces the heavy-tailed degree distributions that spread vertices
+    across many degree classes ``C_i`` -- the regime where the good-node
+    selection (Corollary 8 / 16) does real work.
+    """
+    if attach < 1:
+        raise ValueError("attach must be >= 1")
+    rng = np.random.default_rng(seed)
+    m0 = attach + 1
+    if n <= m0:
+        return complete_graph(max(n, 0))
+    # Start from a small clique, then attach each new node to `attach`
+    # targets sampled proportionally to degree (via the repeated-endpoints
+    # trick: sample uniformly from the arc-endpoint list).
+    iu = np.triu_indices(m0, k=1)
+    edges_u = list(iu[0].astype(np.int64))
+    edges_v = list(iu[1].astype(np.int64))
+    endpoint_pool: list[int] = edges_u + edges_v
+    for new in range(m0, n):
+        targets: set[int] = set()
+        while len(targets) < attach:
+            idx = int(rng.integers(0, len(endpoint_pool)))
+            targets.add(endpoint_pool[idx])
+        for t in targets:
+            edges_u.append(t)
+            edges_v.append(new)
+            endpoint_pool.append(t)
+            endpoint_pool.append(new)
+    return Graph.from_edges(
+        n, np.stack([np.asarray(edges_u), np.asarray(edges_v)], axis=1)
+    )

@@ -1,0 +1,273 @@
+"""Immutable undirected graph with CSR adjacency (numpy-backed).
+
+Design notes
+------------
+The paper's algorithms iteratively *remove* nodes (matched nodes; MIS nodes
+and their neighbours) from the working graph.  To keep node ids stable across
+iterations -- so hash functions, machine assignment and output arrays all key
+on the original ids -- removal produces a new :class:`Graph` on the *same*
+vertex set ``[0, n)`` in which removed vertices are simply isolated.
+
+Edges are stored twice:
+
+* CSR arrays ``indptr`` / ``indices`` over directed arcs, for O(1) slicing of
+  neighbourhoods, with a parallel ``arc_edge_ids`` array mapping each arc to
+  its undirected edge id.
+* Canonical endpoint arrays ``edges_u < edges_v`` indexed by edge id, for
+  vectorised whole-edge-set computations (degrees of edges, subsampling,
+  local-minima selection).
+
+Everything downstream (sparsification, Luby steps, simulators) consumes these
+arrays directly; per the HPC guides, hot paths are expressed as whole-array
+numpy operations, never per-node Python loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+def _canonicalise_edges(
+    n: int, edges_u: np.ndarray, edges_v: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort endpoints within edges, drop self-loops and duplicates."""
+    u = np.minimum(edges_u, edges_v).astype(np.int64, copy=False)
+    v = np.maximum(edges_u, edges_v).astype(np.int64, copy=False)
+    keep = u != v
+    u, v = u[keep], v[keep]
+    if u.size and (u.min(initial=0) < 0 or v.max(initial=-1) >= n):
+        raise ValueError("edge endpoint out of range [0, n)")
+    # Deduplicate via lexicographic sort on (u, v).
+    key = u * np.int64(n) + v
+    order = np.argsort(key, kind="stable")
+    key = key[order]
+    uniq = np.ones(key.size, dtype=bool)
+    uniq[1:] = key[1:] != key[:-1]
+    return u[order][uniq], v[order][uniq]
+
+
+@dataclass(frozen=True)
+class Graph:
+    """Simple undirected graph on vertex set ``[0, n)``.
+
+    Construct via :meth:`from_edges`; all arrays are treated as immutable.
+    """
+
+    n: int
+    edges_u: np.ndarray  # int64[m], edges_u[e] < edges_v[e]
+    edges_v: np.ndarray  # int64[m]
+    indptr: np.ndarray = field(repr=False)  # int64[n+1]
+    indices: np.ndarray = field(repr=False)  # int64[2m] neighbour ids
+    arc_edge_ids: np.ndarray = field(repr=False)  # int64[2m] edge id per arc
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def from_edges(
+        n: int,
+        edges: Iterable[tuple[int, int]] | np.ndarray | Sequence[Sequence[int]],
+    ) -> "Graph":
+        """Build a graph from an iterable / array of ``(u, v)`` pairs.
+
+        Self-loops and duplicate edges (in either orientation) are dropped.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if arr.size == 0:
+            arr = np.empty((0, 2), dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError("edges must be an (m, 2) array of endpoint pairs")
+        u, v = _canonicalise_edges(n, arr[:, 0], arr[:, 1])
+        return Graph._from_canonical(n, u, v)
+
+    @staticmethod
+    def _from_canonical(n: int, u: np.ndarray, v: np.ndarray) -> "Graph":
+        """Build CSR from already-canonical (sorted-unique, u<v) edges."""
+        m = u.size
+        # Directed arc list: each edge contributes (u->v) and (v->u).
+        src = np.concatenate([u, v])
+        dst = np.concatenate([v, u])
+        eid = np.concatenate([np.arange(m, dtype=np.int64)] * 2)
+        order = np.argsort(src, kind="stable")
+        src, dst, eid = src[order], dst[order], eid[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return Graph(
+            n=n,
+            edges_u=u,
+            edges_v=v,
+            indptr=indptr,
+            indices=dst,
+            arc_edge_ids=eid,
+        )
+
+    @staticmethod
+    def empty(n: int) -> "Graph":
+        """Edgeless graph on ``n`` vertices."""
+        return Graph.from_edges(n, np.empty((0, 2), dtype=np.int64))
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return int(self.edges_u.size)
+
+    def degrees(self) -> np.ndarray:
+        """int64[n] vertex degrees."""
+        return np.diff(self.indptr)
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def max_degree(self) -> int:
+        """Maximum degree Delta (0 for the edgeless graph)."""
+        if self.n == 0:
+            return 0
+        return int(self.degrees().max(initial=0))
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Read-only view of v's neighbour ids (sorted by insertion order)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def incident_edge_ids(self, v: int) -> np.ndarray:
+        """Edge ids of edges incident to ``v``."""
+        return self.arc_edge_ids[self.indptr[v] : self.indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return bool(np.any(self.neighbors(u) == v))
+
+    def edge_array(self) -> np.ndarray:
+        """``(m, 2)`` int64 array of canonical edges."""
+        return np.stack([self.edges_u, self.edges_v], axis=1)
+
+    def isolated_mask(self) -> np.ndarray:
+        """bool[n]: vertices with degree zero."""
+        return self.degrees() == 0
+
+    # ------------------------------------------------------------------ #
+    # Edge-level helpers used by the sparsification machinery
+    # ------------------------------------------------------------------ #
+
+    def edge_degrees(self, edge_mask: np.ndarray | None = None) -> np.ndarray:
+        """Degree of each edge: number of *other* edges sharing an endpoint.
+
+        If ``edge_mask`` is given, degrees are computed within the subgraph
+        induced by the masked edge set (the paper's ``d_{E'}(e)``); the
+        returned array still has length ``m`` with zeros off-mask.
+        """
+        if edge_mask is None:
+            deg = self.degrees()
+            d = deg[self.edges_u] + deg[self.edges_v] - 2
+            return d.astype(np.int64)
+        mask = np.asarray(edge_mask, dtype=bool)
+        if mask.shape != (self.m,):
+            raise ValueError("edge_mask must have shape (m,)")
+        deg_sub = np.zeros(self.n, dtype=np.int64)
+        np.add.at(deg_sub, self.edges_u[mask], 1)
+        np.add.at(deg_sub, self.edges_v[mask], 1)
+        d = np.zeros(self.m, dtype=np.int64)
+        d[mask] = deg_sub[self.edges_u[mask]] + deg_sub[self.edges_v[mask]] - 2
+        return d
+
+    def degrees_within(self, edge_mask: np.ndarray) -> np.ndarray:
+        """int64[n]: vertex degrees counting only edges where mask is True.
+
+        The paper's ``d_{E'}(v)``.
+        """
+        mask = np.asarray(edge_mask, dtype=bool)
+        if mask.shape != (self.m,):
+            raise ValueError("edge_mask must have shape (m,)")
+        deg = np.zeros(self.n, dtype=np.int64)
+        np.add.at(deg, self.edges_u[mask], 1)
+        np.add.at(deg, self.edges_v[mask], 1)
+        return deg
+
+    def degrees_toward(self, node_mask: np.ndarray) -> np.ndarray:
+        """int64[n]: for each v, #neighbours u with ``node_mask[u]``.
+
+        The paper's ``d_U(v)`` for a vertex subset ``U``.
+        """
+        mask = np.asarray(node_mask, dtype=bool)
+        if mask.shape != (self.n,):
+            raise ValueError("node_mask must have shape (n,)")
+        counts = np.zeros(self.n, dtype=np.int64)
+        inc_u = mask[self.edges_v].astype(np.int64)  # v-side in mask -> u gains
+        inc_v = mask[self.edges_u].astype(np.int64)
+        np.add.at(counts, self.edges_u, inc_u)
+        np.add.at(counts, self.edges_v, inc_v)
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+
+    def remove_vertices(self, node_mask: np.ndarray) -> "Graph":
+        """Graph on the same vertex set with masked vertices isolated.
+
+        All edges touching a masked vertex are removed.  Used after each
+        Luby iteration to delete ``I ∪ N(I)`` (MIS) or matched nodes
+        (matching) while keeping ids stable.
+        """
+        mask = np.asarray(node_mask, dtype=bool)
+        if mask.shape != (self.n,):
+            raise ValueError("node_mask must have shape (n,)")
+        keep = ~(mask[self.edges_u] | mask[self.edges_v])
+        return Graph._from_canonical(self.n, self.edges_u[keep], self.edges_v[keep])
+
+    def keep_edges(self, edge_mask: np.ndarray) -> "Graph":
+        """Graph on the same vertex set containing only the masked edges."""
+        mask = np.asarray(edge_mask, dtype=bool)
+        if mask.shape != (self.m,):
+            raise ValueError("edge_mask must have shape (m,)")
+        return Graph._from_canonical(self.n, self.edges_u[mask], self.edges_v[mask])
+
+    def relabel(self, new_ids: np.ndarray, new_n: int) -> "Graph":
+        """Graph with vertex ``v`` renamed ``new_ids[v]`` (must be injective
+        on non-isolated vertices)."""
+        ids = np.asarray(new_ids, dtype=np.int64)
+        if ids.shape != (self.n,):
+            raise ValueError("new_ids must have shape (n,)")
+        return Graph.from_edges(
+            new_n, np.stack([ids[self.edges_u], ids[self.edges_v]], axis=1)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Interop / dunder
+    # ------------------------------------------------------------------ #
+
+    def to_networkx(self):
+        """Convert to ``networkx.Graph`` (test/verification use only)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(zip(self.edges_u.tolist(), self.edges_v.tolist()))
+        return g
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.m == other.m
+            and bool(np.array_equal(self.edges_u, other.edges_u))
+            and bool(np.array_equal(self.edges_v, other.edges_v))
+        )
+
+    def __hash__(self) -> int:  # frozen dataclass wants it; cheap digest
+        return hash((self.n, self.m, self.edges_u.tobytes(), self.edges_v.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self.m}, max_deg={self.max_degree()})"

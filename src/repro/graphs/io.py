@@ -1,0 +1,53 @@
+"""Plain-text edge-list I/O (one ``u v`` pair per line, ``#`` comments).
+
+Small convenience layer so examples/benchmarks can persist workloads; the
+format is the de-facto standard of SNAP/DIMACS-lite edge lists.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["read_edge_list", "write_edge_list"]
+
+
+def write_edge_list(g: Graph, path: str | Path) -> None:
+    """Write ``g`` as an edge list with an ``# n=<n>`` header."""
+    p = Path(path)
+    with p.open("w") as fh:
+        fh.write(f"# n={g.n} m={g.m}\n")
+        for u, v in zip(g.edges_u.tolist(), g.edges_v.tolist()):
+            fh.write(f"{u} {v}\n")
+
+
+def read_edge_list(path: str | Path, n: int | None = None) -> Graph:
+    """Read an edge list; ``n`` is taken from the header unless overridden."""
+    p = Path(path)
+    header_n: int | None = None
+    us: list[int] = []
+    vs: list[int] = []
+    with p.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for tok in line[1:].replace(",", " ").split():
+                    if tok.startswith("n="):
+                        header_n = int(tok[2:])
+                continue
+            a, b = line.split()[:2]
+            us.append(int(a))
+            vs.append(int(b))
+    if n is None:
+        n = header_n
+    if n is None:
+        n = (max(max(us, default=-1), max(vs, default=-1)) + 1) if us else 0
+    edges = np.stack(
+        [np.asarray(us, dtype=np.int64), np.asarray(vs, dtype=np.int64)], axis=1
+    ) if us else np.empty((0, 2), dtype=np.int64)
+    return Graph.from_edges(n, edges)

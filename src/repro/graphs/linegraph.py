@@ -1,0 +1,68 @@
+"""Line-graph construction (matching = MIS on the line graph).
+
+The paper uses the classical reduction in two places:
+
+* Section 1.1.2 / Section 5: for ``Delta = O(n^{delta})`` one can find a
+  maximal matching by simulating MIS on the line graph ``L(G)``, since
+  ``Delta(L(G)) <= 2 Delta(G) - 2`` stays in the low-degree regime.
+* Corollary 2 (CONGESTED CLIQUE).
+
+``L(G)`` has one vertex per edge of ``G`` and an edge between every pair of
+``G``-edges sharing an endpoint, so ``|E(L(G))| = sum_v C(d(v), 2)``; we guard
+against accidental quadratic blowups with an explicit cap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["line_graph", "line_graph_size", "matching_from_line_mis"]
+
+
+def line_graph_size(g: Graph) -> int:
+    """Number of edges ``L(G)`` would have (``sum_v d(v) (d(v)-1) / 2``)."""
+    d = g.degrees().astype(np.int64)
+    return int((d * (d - 1) // 2).sum())
+
+
+def line_graph(g: Graph, *, max_edges: int | None = 50_000_000) -> Graph:
+    """Construct ``L(G)``.  Vertex ``e`` of the result is edge id ``e`` of g.
+
+    Raises ``ValueError`` if the result would exceed ``max_edges`` edges.
+    """
+    expected = line_graph_size(g)
+    if max_edges is not None and expected > max_edges:
+        raise ValueError(
+            f"line graph would have {expected} edges (> cap {max_edges}); "
+            "raise max_edges explicitly if intended"
+        )
+    pairs_u: list[np.ndarray] = []
+    pairs_v: list[np.ndarray] = []
+    for v in range(g.n):
+        eids = g.incident_edge_ids(v)
+        k = eids.size
+        if k < 2:
+            continue
+        iu = np.triu_indices(k, k=1)
+        pairs_u.append(eids[iu[0]])
+        pairs_v.append(eids[iu[1]])
+    if not pairs_u:
+        return Graph.empty(g.m)
+    edges = np.stack([np.concatenate(pairs_u), np.concatenate(pairs_v)], axis=1)
+    return Graph.from_edges(g.m, edges)
+
+
+def matching_from_line_mis(g: Graph, line_mis_mask: np.ndarray) -> np.ndarray:
+    """Convert an MIS of ``L(G)`` (bool[m]) into matched-edge ids of ``G``.
+
+    An independent set of line-graph vertices is exactly a set of edges no
+    two of which share an endpoint, i.e. a matching; maximality transfers
+    because an unmatched-extendable edge would be a line-graph vertex with no
+    chosen neighbour.
+    """
+    mask = np.asarray(line_mis_mask, dtype=bool)
+    if mask.shape != (g.m,):
+        raise ValueError("line_mis_mask must have shape (m,)")
+    return np.nonzero(mask)[0].astype(np.int64)

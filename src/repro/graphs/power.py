@@ -1,0 +1,83 @@
+"""Graph powers and r-hop neighbourhood (ball) extraction.
+
+Two primitives the paper relies on:
+
+* ``square_adjacency`` -- the 2-hop conflict structure ``G^2`` used for the
+  Section-5 distance-2 coloring (nodes within 2 hops must get distinct
+  colors so color-hashing preserves local pairwise independence).
+* ``r_hop_balls`` -- the sets ``B_r(v)`` that machines gather in Section 5's
+  preprocessing ("collect the r-th hop neighbourhood of each node"); ball
+  sizes are also what the space accounting (``Delta^r <= n^{delta}``) is
+  checked against.
+
+Both use scipy.sparse boolean matrix powers for the heavy lifting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import Graph
+
+__all__ = ["adjacency_matrix", "ball_sizes", "r_hop_balls", "square_graph"]
+
+
+def adjacency_matrix(g: Graph) -> sp.csr_matrix:
+    """Boolean CSR adjacency matrix of ``g``."""
+    m = g.m
+    data = np.ones(2 * m, dtype=bool)
+    rows = np.concatenate([g.edges_u, g.edges_v])
+    cols = np.concatenate([g.edges_v, g.edges_u])
+    return sp.csr_matrix((data, (rows, cols)), shape=(g.n, g.n), dtype=bool)
+
+
+def square_graph(g: Graph) -> Graph:
+    """``G^2``: edge {u, v} iff ``0 < dist(u, v) <= 2``.
+
+    Degree of ``G^2`` is at most ``Delta^2``, so a proper coloring of ``G^2``
+    with ``O(Delta^2)``-ish colors is a distance-2 coloring of ``G`` -- the
+    renaming device of Section 5.1.
+    """
+    a = adjacency_matrix(g)
+    reach2 = (a @ a).astype(bool) + a
+    reach2 = sp.triu(reach2.tocoo(), k=1).tocoo()
+    edges = np.stack([reach2.row.astype(np.int64), reach2.col.astype(np.int64)], axis=1)
+    return Graph.from_edges(g.n, edges)
+
+
+def r_hop_balls(g: Graph, r: int, *, max_ball: int | None = None) -> list[np.ndarray]:
+    """For each vertex v, the sorted array of vertices within distance r
+    (excluding v itself).
+
+    ``max_ball`` (if given) raises if any ball exceeds that many vertices --
+    the simulator uses this to assert the paper's space guarantee
+    ``Delta^r = O(n^{delta})`` before "gathering onto one machine".
+    """
+    if r < 0:
+        raise ValueError("r must be >= 0")
+    if r == 0 or g.n == 0:
+        return [np.empty(0, dtype=np.int64) for _ in range(g.n)]
+    a = adjacency_matrix(g)
+    reach = a.copy()
+    frontier = a
+    for _ in range(r - 1):
+        frontier = (frontier @ a).astype(bool)
+        reach = (reach + frontier).astype(bool)
+    reach = reach.tolil()
+    reach.setdiag(False)
+    reach = reach.tocsr()
+    balls: list[np.ndarray] = []
+    for v in range(g.n):
+        ball = reach.indices[reach.indptr[v] : reach.indptr[v + 1]].astype(np.int64)
+        if max_ball is not None and ball.size > max_ball:
+            raise ValueError(
+                f"ball of v={v} has {ball.size} vertices > max_ball={max_ball}"
+            )
+        balls.append(np.sort(ball))
+    return balls
+
+
+def ball_sizes(g: Graph, r: int) -> np.ndarray:
+    """int64[n]: |B_r(v)| excluding v (cheap summary used by space checks)."""
+    return np.asarray([b.size for b in r_hop_balls(g, r)], dtype=np.int64)

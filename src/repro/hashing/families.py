@@ -1,0 +1,146 @@
+"""Composite hash families and the small-seed family of paper Section 5.
+
+Two constructions on top of :class:`~repro.hashing.kwise.KWiseHashFamily`:
+
+* :class:`ProductHashFamily` -- pairs two independent k-wise families to get
+  k-wise independent values over the product range ``[q0 * q1]``.  This gives
+  the "wide" value range the paper gets from ``[n^3]``: with
+  ``q0, q1 = Theta(n)`` the combined range is ``Theta(n^2)`` and ties among
+  distinct ids occur with probability ``O(1/n^2)`` per pair, so the
+  local-minimum selection of Luby's algorithm is effectively tie-free (we
+  additionally break residual ties by id, which only helps progress).
+
+* :class:`ColorHashFamily` -- the Section-5 family ``H*``: a pairwise family
+  over the *color space* ``[O(Delta^4)]`` of a distance-2 coloring, so a seed
+  costs only ``O(log Delta)`` bits instead of ``O(log n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .kwise import KWiseHashFamily, make_family
+from .primes import next_prime
+
+
+@dataclass(frozen=True)
+class ProductHashFamily:
+    """k-wise independent ``h : [min(q0,q1)] -> [q0*q1]`` from two fields.
+
+    A seed is ``s = s1 * size0 + s0`` combining seeds of the two component
+    families; the value is ``h(x) = h1(x) * q0 + h0(x)``.  Since the two
+    component coefficient vectors are chosen independently and each family is
+    k-wise independent over its own field, the pair ``(h1(x), h0(x))`` is
+    k-wise independent and uniform over ``[q1] x [q0]``, hence ``h(x)`` is
+    k-wise independent and uniform over ``[q0 * q1]``.
+    """
+
+    f0: KWiseHashFamily
+    f1: KWiseHashFamily
+
+    def __post_init__(self) -> None:
+        if self.f0.k != self.f1.k:
+            raise ValueError("component families must share independence k")
+
+    @property
+    def k(self) -> int:
+        return self.f0.k
+
+    @property
+    def independence(self) -> int:
+        return self.f0.k
+
+    @property
+    def domain(self) -> int:
+        return min(self.f0.q, self.f1.q)
+
+    @property
+    def range(self) -> int:
+        return self.f0.q * self.f1.q
+
+    @property
+    def size(self) -> int:
+        return self.f0.size * self.f1.size
+
+    @property
+    def seed_bits(self) -> int:
+        return max(1, (self.size - 1).bit_length())
+
+    def seeds(self) -> Iterator[int]:
+        return iter(range(self.size))
+
+    def split_seed(self, seed: int) -> tuple[int, int]:
+        if not 0 <= seed < self.size:
+            raise ValueError(f"seed {seed} out of range [0, {self.size})")
+        return seed % self.f0.size, seed // self.f0.size
+
+    def evaluate(self, seed: int, xs: np.ndarray | int) -> np.ndarray:
+        s0, s1 = self.split_seed(seed)
+        v0 = self.f0.evaluate(s0, xs)
+        v1 = self.f1.evaluate(s1, xs)
+        return v1 * np.uint64(self.f0.q) + v0
+
+    def threshold(self, prob: float) -> int:
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {prob}")
+        return min(self.range, int(prob * self.range))
+
+    def sample_indicator(self, seed: int, xs: np.ndarray, prob: float) -> np.ndarray:
+        t = self.threshold(prob)
+        return self.evaluate(seed, xs) < np.uint64(t)
+
+
+def make_product_family(universe: int, k: int, *, min_q: int = 257) -> ProductHashFamily:
+    """Product family with both fields covering ``[0, universe)``.
+
+    The two fields are chosen as *distinct* consecutive primes so the
+    component families are not trivially correlated under the canonical
+    seed-scan order used by deterministic search.
+    """
+    q0 = next_prime(max(universe, min_q, 2))
+    q1 = next_prime(q0 + 1)
+    return ProductHashFamily(KWiseHashFamily(q=q0, k=k), KWiseHashFamily(q=q1, k=k))
+
+
+@dataclass(frozen=True)
+class ColorHashFamily:
+    """Section-5 family ``H*``: pairwise functions over a color space.
+
+    Nodes are renamed by a distance-2 coloring ``chi`` with ``C`` colors
+    (``C = O(Delta^4)`` after Linial coloring of ``G^2``); hashing the color
+    instead of the id shrinks the seed to ``2 ceil(log2 C')`` bits where
+    ``C'`` is the field covering the colors.  Because any two nodes within
+    two hops have distinct colors, the pairwise independence *within every
+    2-hop neighbourhood* -- all that Luby's analysis needs -- is preserved.
+    """
+
+    base: KWiseHashFamily
+    num_colors: int
+
+    @property
+    def size(self) -> int:
+        return self.base.size
+
+    @property
+    def seed_bits(self) -> int:
+        return self.base.seed_bits
+
+    @property
+    def range(self) -> int:
+        return self.base.q
+
+    def seeds(self) -> Iterator[int]:
+        return self.base.seeds()
+
+    def evaluate_colors(self, seed: int, colors: np.ndarray) -> np.ndarray:
+        """Hash an array of node colors to z-values in ``[q)``."""
+        return self.base.evaluate(seed, colors)
+
+
+def make_color_family(num_colors: int) -> ColorHashFamily:
+    """Pairwise family over ``[num_colors]`` (seed length ``O(log Delta)``)."""
+    base = make_family(num_colors, k=2, min_q=max(num_colors, 5))
+    return ColorHashFamily(base=base, num_colors=num_colors)

@@ -1,0 +1,217 @@
+"""k-wise independent hash families (paper Definition 5 / Lemma 6).
+
+We implement the classical degree-``(k-1)`` polynomial construction over a
+prime field ``Z_q``:
+
+    ``h_{a_0..a_{k-1}}(x) = a_{k-1} x^{k-1} + ... + a_1 x + a_0  (mod q)``
+
+For uniformly random coefficients, the values ``h(x_1), ..., h(x_k)`` at any
+``k`` distinct points are independent and uniform over ``[q]`` -- exactly the
+guarantee Definition 5 asks for, with seed length ``k * ceil(log2 q)`` bits,
+matching Lemma 6's ``k * max{a, b}`` random bits.
+
+Evaluation is fully vectorised (Horner's rule over ``uint64``); the field size
+is capped below ``2**31`` so intermediate products fit in 64 bits.
+
+The paper's family maps ``[n^3] -> [n^3]`` purely so that additive ``1/n^3``
+error terms vanish asymptotically.  We keep the field size a parameter
+(``q = Theta(n)`` by default in the algorithms) and track the ``O(1/q)`` bias
+explicitly; :class:`~repro.hashing.families.ProductHashFamily` pairs two
+independent copies when a wide, collision-free value range is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from .primes import is_prime, next_prime
+
+#: Largest permitted field size: keeps ``(q-1)**2 + (q-1) < 2**63`` so Horner
+#: steps never overflow uint64.
+MAX_FIELD = 2**31 - 1
+
+
+def _as_uint64(xs: np.ndarray | int) -> np.ndarray:
+    arr = np.asarray(xs, dtype=np.uint64)
+    return arr
+
+
+@dataclass(frozen=True)
+class KWiseHashFamily:
+    """Family of k-wise independent functions ``h : [q] -> [q]``.
+
+    Parameters
+    ----------
+    q:
+        Field size; must be prime and ``<= MAX_FIELD``.  The domain of the
+        functions is ``[q]`` (callers hash ids ``< q``) and the raw output
+        range is ``[q]``.
+    k:
+        Independence parameter (``k >= 1``).  ``k = 2`` is the pairwise
+        family used by the Luby selection steps; the sparsification stages
+        use ``k = c`` for a constant ``c >= 2`` (paper Section 3.2).
+
+    A *seed* is an integer in ``[0, q**k)`` encoding the coefficient vector
+    ``(a_0, ..., a_{k-1})`` in base ``q``.  For ``k >= 2`` the *linear*
+    coefficient ``a_1`` occupies the least significant digit (then ``a_0``,
+    then ``a_2, a_3, ...``): deterministic seed *scans* enumerate seeds in
+    increasing order, and this digit order makes the first ``q`` functions
+    scanned the non-degenerate linear maps ``x -> a_1 x`` rather than the
+    constant functions ``x -> a_0``.  The family itself is unchanged (it is
+    the same set of functions, re-indexed), so all independence guarantees
+    are unaffected.
+    """
+
+    q: int
+    k: int
+    _powers: tuple[int, ...] = field(init=False, repr=False, compare=False, default=())
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"independence k must be >= 1, got {self.k}")
+        if self.q > MAX_FIELD:
+            raise ValueError(f"field size {self.q} exceeds MAX_FIELD={MAX_FIELD}")
+        if not is_prime(self.q):
+            raise ValueError(f"field size must be prime, got {self.q}")
+        object.__setattr__(self, "_powers", tuple(self.q**j for j in range(self.k + 1)))
+
+    # ------------------------------------------------------------------ #
+    # Family metadata
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        """Number of functions in the family, ``q**k``."""
+        return self._powers[self.k]
+
+    @property
+    def seed_bits(self) -> int:
+        """Bits needed to specify a seed (paper: ``O(k log q)``)."""
+        return max(1, (self.size - 1).bit_length())
+
+    @property
+    def domain(self) -> int:
+        return self.q
+
+    @property
+    def range(self) -> int:
+        return self.q
+
+    @property
+    def independence(self) -> int:
+        return self.k
+
+    # ------------------------------------------------------------------ #
+    # Seed codec
+    # ------------------------------------------------------------------ #
+
+    def _digit_order(self) -> tuple[int, ...]:
+        """Coefficient index stored in each base-q seed digit (see class doc)."""
+        if self.k >= 2:
+            return (1, 0) + tuple(range(2, self.k))
+        return (0,)
+
+    def coefficients(self, seed: int) -> tuple[int, ...]:
+        """Decode a seed into its coefficient vector ``(a_0, ..., a_{k-1})``."""
+        if not 0 <= seed < self.size:
+            raise ValueError(f"seed {seed} out of range [0, {self.size})")
+        coeffs = [0] * self.k
+        s = seed
+        for idx in self._digit_order():
+            coeffs[idx] = s % self.q
+            s //= self.q
+        return tuple(coeffs)
+
+    def seed_from_coefficients(self, coeffs: tuple[int, ...] | list[int]) -> int:
+        """Inverse of :meth:`coefficients`."""
+        if len(coeffs) != self.k:
+            raise ValueError(f"expected {self.k} coefficients, got {len(coeffs)}")
+        seed = 0
+        for digit, idx in enumerate(self._digit_order()):
+            a = coeffs[idx]
+            if not 0 <= a < self.q:
+                raise ValueError(f"coefficient {a} out of field [0, {self.q})")
+            seed += a * self._powers[digit]
+        return seed
+
+    def seeds(self) -> Iterator[int]:
+        """Iterate over every seed in a fixed (canonical) order."""
+        return iter(range(self.size))
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, seed: int, xs: np.ndarray | int) -> np.ndarray:
+        """Evaluate ``h_seed`` at the points ``xs`` (vectorised).
+
+        ``xs`` must contain values in ``[0, q)``; the result is a uint64
+        array of values in ``[0, q)``.
+        """
+        coeffs = self.coefficients(seed)
+        x = _as_uint64(xs)
+        if x.size and int(x.max(initial=0)) >= self.q:
+            raise ValueError("hash input outside field domain; reduce ids first")
+        q = np.uint64(self.q)
+        # Horner: h = (((a_{k-1} x + a_{k-2}) x + ...) x + a_0)
+        h = np.full_like(x, np.uint64(coeffs[-1]))
+        for a in reversed(coeffs[:-1]):
+            h = (h * x + np.uint64(a)) % q
+        return h
+
+    def evaluate_many(self, seed_values: np.ndarray, x: int) -> np.ndarray:
+        """Evaluate many functions at a *single* point ``x``.
+
+        Vectorised over seeds; used by exhaustive / conditional-expectation
+        seed searches.  ``seed_values`` is an int64/uint64 array of seeds.
+        """
+        seeds = np.asarray(seed_values, dtype=np.uint64)
+        q = np.uint64(self.q)
+        xs = np.uint64(x % self.q)
+        # Decode every coefficient (digit positions follow _digit_order).
+        coeffs: dict[int, np.ndarray] = {}
+        for digit, idx in enumerate(self._digit_order()):
+            coeffs[idx] = (seeds // np.uint64(self._powers[digit])) % q
+        h = coeffs[self.k - 1]
+        for j in range(self.k - 2, -1, -1):
+            h = (h * xs + coeffs[j]) % q
+        return h
+
+    def threshold(self, prob: float) -> int:
+        """Threshold ``t`` such that ``h(x) < t`` has probability ``~prob``.
+
+        ``Pr[h(x) < t] = t / q`` exactly, so the realised probability is
+        ``floor(prob * q) / q`` which differs from ``prob`` by less than
+        ``1/q`` -- the additive error the paper bounds by ``1/n^3``.
+        """
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {prob}")
+        return min(self.q, int(prob * self.q))
+
+    def sample_indicator(self, seed: int, xs: np.ndarray, prob: float) -> np.ndarray:
+        """Boolean mask: which of ``xs`` are 'sampled' at rate ``prob``.
+
+        This is the paper's subsampling primitive: ``e in E_h`` iff
+        ``h(e) <= n^{3-delta}`` (Section 3.2), generalised to an arbitrary
+        rate.
+        """
+        t = self.threshold(prob)
+        return self.evaluate(seed, xs) < np.uint64(t)
+
+
+def make_family(universe: int, k: int, *, min_q: int = 257) -> KWiseHashFamily:
+    """Construct a k-wise family whose field covers ``[0, universe)``.
+
+    ``min_q`` keeps the range granular enough for threshold sampling even on
+    tiny inputs (the paper works with range ``n^3``; a floor of a few hundred
+    keeps the ``1/q`` bias below half a percent on toy graphs).
+    """
+    q = next_prime(max(universe, min_q, 2))
+    if q > MAX_FIELD:
+        raise ValueError(
+            f"universe {universe} needs field > MAX_FIELD; shard ids first"
+        )
+    return KWiseHashFamily(q=q, k=k)

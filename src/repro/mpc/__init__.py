@@ -1,0 +1,30 @@
+"""MPC model substrate: machines, rounds, Lemma-4 primitives, accounting."""
+
+from .context import MPCContext
+from .distributed_graph import distributed_degrees, distributed_node_aggregate
+from .distributed_luby import distributed_luby_mis
+from .engine import MPCEngine, word_size
+from .exceptions import CapacityExceededError, MPCModelError, SpaceExceededError
+from .ledger import RoundCosts, RoundLedger, SpaceTracker
+from .partition import MachineGrouping, chunk_items_by_group
+from .primitives import broadcast_word, distributed_prefix_sums, distributed_sort
+
+__all__ = [
+    "CapacityExceededError",
+    "MPCContext",
+    "MPCEngine",
+    "MPCModelError",
+    "MachineGrouping",
+    "RoundCosts",
+    "RoundLedger",
+    "SpaceExceededError",
+    "SpaceTracker",
+    "broadcast_word",
+    "chunk_items_by_group",
+    "distributed_degrees",
+    "distributed_luby_mis",
+    "distributed_node_aggregate",
+    "distributed_prefix_sums",
+    "distributed_sort",
+    "word_size",
+]

@@ -1,0 +1,122 @@
+"""Execution context tying together model parameters, ledger and space.
+
+An :class:`MPCContext` fixes the instance-level model quantities -- ``n``,
+``S = space_factor * n^eps`` (words per machine), the machine count -- and
+owns the :class:`~repro.mpc.ledger.RoundLedger` and
+:class:`~repro.mpc.ledger.SpaceTracker` an algorithm run charges against.
+
+The total-space budget follows Theorems 7/14: ``O(m + n^{1+eps})`` words; we
+instantiate the O(.) with an explicit ``total_factor`` so violations fail
+loudly rather than being absorbed into asymptotics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .ledger import RoundCosts, RoundLedger, SpaceTracker
+
+__all__ = ["MPCContext"]
+
+
+@dataclass
+class MPCContext:
+    """Model state for one algorithm run on an ``n``-vertex, ``m``-edge input.
+
+    Parameters
+    ----------
+    n, m:
+        Input size.
+    eps:
+        Local-space exponent (``S = Theta(n^eps)``).
+    space_factor:
+        The constant in ``S = space_factor * n^eps`` (the paper needs
+        ``S = O(n^{8 delta}) = O(n^eps)`` to hold 2-hop neighbourhoods after
+        sparsification; the constant absorbs the factor 4 from the
+        ``2 n^{4 delta} x 2 n^{4 delta}`` bound of Section 3.3).
+    total_factor:
+        The constant in the global budget ``total_factor * (m + n^{1+eps})``.
+    """
+
+    n: int
+    m: int
+    eps: float = 0.5
+    space_factor: float = 32.0
+    total_factor: float = 16.0
+    costs: RoundCosts = field(default_factory=RoundCosts)
+    ledger: RoundLedger = field(init=False)
+    space: SpaceTracker = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.eps <= 1:
+            raise ValueError(f"eps must be in (0, 1], got {self.eps}")
+        if self.n < 0 or self.m < 0:
+            raise ValueError("n, m must be non-negative")
+        self.ledger = RoundLedger(costs=self.costs)
+        self.space = SpaceTracker(
+            limit_per_machine=self.S,
+            limit_total=self.total_space_budget,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Model quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def S(self) -> int:
+        """Words of space per machine."""
+        base = max(self.n, 2)
+        return max(4, math.ceil(self.space_factor * base**self.eps))
+
+    @property
+    def num_machines(self) -> int:
+        """Machines needed to hold the input: ``ceil((n + 2m) / S)``-ish."""
+        return max(1, math.ceil((self.n + 2 * self.m + 1) / self.S))
+
+    @property
+    def total_space_budget(self) -> int:
+        base = max(self.n, 2)
+        return math.ceil(
+            self.total_factor * (self.m + base ** (1.0 + self.eps) + self.S)
+        )
+
+    @property
+    def chunk_bits(self) -> int:
+        """Seed bits fixable per conditional-expectations step: ``log2 S``."""
+        return max(1, int(math.log2(max(self.S, 2))))
+
+    def fits_on_machine(self, words: int) -> bool:
+        return words <= self.S
+
+    def assert_fits(self, words: int, what: str = "") -> None:
+        self.space.observe_single(-1, words, what)
+
+    # ------------------------------------------------------------------ #
+    # Charging helpers (delegate to the ledger with model constants)
+    # ------------------------------------------------------------------ #
+
+    def charge_sort(self, category: str = "sort") -> None:
+        self.ledger.charge_sort(category)
+
+    def charge_prefix_sum(self, category: str = "prefix_sum") -> None:
+        self.ledger.charge_prefix_sum(category)
+
+    def charge_aggregate(self, category: str = "aggregate") -> None:
+        self.ledger.charge_aggregate(category)
+
+    def charge_broadcast(self, category: str = "broadcast") -> None:
+        self.ledger.charge_broadcast(category)
+
+    def charge_gather_2hop(self, category: str = "gather") -> None:
+        self.ledger.charge_gather_2hop(category)
+
+    def charge_gather_rhop(self, r: int, category: str = "gather") -> None:
+        self.ledger.charge_gather_rhop(r, category)
+
+    def charge_seed_fix(self, seed_bits: int, category: str = "seed_fix") -> None:
+        self.ledger.charge_seed_fix(seed_bits, self.chunk_bits, category)
+
+    @property
+    def rounds(self) -> int:
+        return self.ledger.total

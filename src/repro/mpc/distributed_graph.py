@@ -1,0 +1,131 @@
+"""Graph bookkeeping on the literal MPC engine (Section 3.1, executed).
+
+Section 3.1: *"a straightforward application of Lemma 4 allows all nodes to
+determine their degrees ... in a constant number of rounds"*.  This module
+performs exactly that computation with real message passing on
+:class:`~repro.mpc.engine.MPCEngine` -- no central shortcuts -- so the claim
+is demonstrated end to end:
+
+1. edges arrive split arbitrarily across machines as directed arcs,
+   encoded as sortable integers ``src * n + dst``;
+2. :func:`~repro.mpc.primitives.distributed_sort` groups each node's arcs
+   onto contiguous machines (3 rounds);
+3. each machine counts its local runs and sends one ``(node, count)``
+   partial per node to the node's *home machine* (``node % M``), which sums
+   the partials (1 round).
+
+Total: 4 engine rounds independent of the input size (for ``M^2 <= S``),
+matching the O(1) bound.  The same skeleton computes any per-node
+aggregate (the ``sum_{u ~ v} 1/d(u)`` of Section 4.1, the class weights of
+Corollary 8, ...); :func:`distributed_node_aggregate` generalises it to
+arbitrary per-arc values.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from .engine import MPCEngine
+from .primitives import distributed_sort
+
+__all__ = ["distributed_degrees", "distributed_node_aggregate"]
+
+
+def _load_arcs(engine: MPCEngine, g: Graph) -> None:
+    """Distribute the directed arc list (encoded as integers) evenly."""
+    n = max(g.n, 1)
+    fwd = g.edges_u * n + g.edges_v
+    bwd = g.edges_v * n + g.edges_u
+    arcs = np.concatenate([fwd, bwd]).tolist()
+    engine.load_balanced([int(a) for a in arcs])
+
+
+def distributed_degrees(
+    g: Graph, num_machines: int, space: int
+) -> tuple[np.ndarray, int]:
+    """Compute all vertex degrees with real message passing.
+
+    Returns ``(degrees, engine_rounds)``.  Raises the engine's capacity
+    errors if the configuration genuinely cannot support the computation --
+    the caller picks ``M``/``S`` like an MPC deployment would.
+    """
+    engine = MPCEngine(num_machines=num_machines, space=space)
+    _load_arcs(engine, g)
+    rounds0 = engine.rounds_executed
+    distributed_sort(engine)
+
+    n = max(g.n, 1)
+    m_machines = engine.num_machines
+
+    def count_step(mid: int, items: list[Any]):
+        counts: dict[int, int] = defaultdict(int)
+        for arc in items:
+            counts[arc // n] += 1
+        sends = []
+        keep: list[Any] = []
+        for node, cnt in sorted(counts.items()):
+            home = node % m_machines
+            msg = ("deg", node, cnt)
+            if home == mid:
+                keep.append(msg)
+            else:
+                sends.append((home, msg))
+        return keep, sends
+
+    engine.round(count_step)
+
+    degrees = np.zeros(g.n, dtype=np.int64)
+    for mid in range(m_machines):
+        for item in engine.storage[mid]:
+            if isinstance(item, tuple) and item[0] == "deg":
+                degrees[item[1]] += item[2]
+    return degrees, engine.rounds_executed - rounds0
+
+
+def distributed_node_aggregate(
+    g: Graph,
+    arc_value: Callable[[int, int], float],
+    num_machines: int,
+    space: int,
+    scale: int = 10**6,
+) -> tuple[np.ndarray, int]:
+    """Per-node sums ``out[v] = sum_{u ~ v} arc_value(v, u)`` on the engine.
+
+    Values are fixed-point encoded (``scale`` ticks per unit) so messages
+    stay integral words.  Same 4-round skeleton as degree computation.
+    """
+    engine = MPCEngine(num_machines=num_machines, space=space)
+    _load_arcs(engine, g)
+    rounds0 = engine.rounds_executed
+    distributed_sort(engine)
+    n = max(g.n, 1)
+    m_machines = engine.num_machines
+
+    def agg_step(mid: int, items: list[Any]):
+        sums: dict[int, int] = defaultdict(int)
+        for arc in items:
+            src, dst = divmod(arc, n)
+            sums[src] += int(round(arc_value(src, dst) * scale))
+        sends = []
+        keep: list[Any] = []
+        for node, total in sorted(sums.items()):
+            home = node % m_machines
+            msg = ("agg", node, total)
+            if home == mid:
+                keep.append(msg)
+            else:
+                sends.append((home, msg))
+        return keep, sends
+
+    engine.round(agg_step)
+
+    out = np.zeros(g.n, dtype=np.float64)
+    for mid in range(m_machines):
+        for item in engine.storage[mid]:
+            if isinstance(item, tuple) and item[0] == "agg":
+                out[item[1]] += item[2] / scale
+    return out, engine.rounds_executed - rounds0

@@ -1,0 +1,38 @@
+"""Exceptions raised by the MPC/CONGESTED-CLIQUE simulators."""
+
+from __future__ import annotations
+
+__all__ = [
+    "CapacityExceededError",
+    "MPCModelError",
+    "SpaceExceededError",
+]
+
+
+class MPCModelError(RuntimeError):
+    """Base class: a simulated algorithm violated a model constraint."""
+
+
+class SpaceExceededError(MPCModelError):
+    """A machine was asked to hold more than ``S`` words."""
+
+    def __init__(self, machine: int, words: int, limit: int, what: str = "") -> None:
+        self.machine = machine
+        self.words = words
+        self.limit = limit
+        suffix = f" while {what}" if what else ""
+        super().__init__(
+            f"machine {machine} holds {words} words > S = {limit}{suffix}"
+        )
+
+
+class CapacityExceededError(MPCModelError):
+    """A machine sent or received more than ``S`` words in one round."""
+
+    def __init__(self, machine: int, words: int, limit: int, direction: str) -> None:
+        self.machine = machine
+        self.words = words
+        self.limit = limit
+        super().__init__(
+            f"machine {machine} {direction} {words} words > per-round cap S = {limit}"
+        )

@@ -1,0 +1,67 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core import Params
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    power_law_graph,
+    random_tree,
+    star_graph,
+)
+
+# Keep hypothesis fast and deterministic in CI-like runs.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def params() -> Params:
+    return Params()
+
+
+@pytest.fixture
+def small_gnp() -> Graph:
+    return gnp_random_graph(60, 0.15, seed=7)
+
+
+@pytest.fixture
+def medium_gnp() -> Graph:
+    return gnp_random_graph(200, 0.05, seed=11)
+
+
+@pytest.fixture(
+    params=[
+        ("gnp", lambda: gnp_random_graph(80, 0.1, seed=3)),
+        ("powerlaw", lambda: power_law_graph(120, 3, seed=5)),
+        ("complete", lambda: complete_graph(25)),
+        ("star", lambda: star_graph(60)),
+        ("cycle", lambda: cycle_graph(40)),
+        ("grid", lambda: grid_graph(8, 8)),
+        ("tree", lambda: random_tree(90, seed=9)),
+        ("path", lambda: path_graph(30)),
+    ],
+    ids=lambda p: p[0],
+)
+def any_graph(request) -> Graph:
+    """A diverse zoo of graph shapes for correctness sweeps."""
+    return request.param[1]()
+
+
+def edges_from_numpy(arr: np.ndarray) -> list[tuple[int, int]]:
+    return [(int(a), int(b)) for a, b in arr.tolist()]

@@ -1,0 +1,80 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.graphs import gnp_random_graph, write_edge_list
+
+
+def test_demo_mis(capsys):
+    rc = main(["demo", "--n", "60", "--p", "0.1", "--algo", "mis"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "MIS on Graph" in out
+    assert "verified: True" in out
+
+
+def test_demo_matching(capsys):
+    rc = main(["demo", "--n", "60", "--p", "0.1", "--algo", "matching"])
+    assert rc == 0
+    assert "|M| =" in capsys.readouterr().out
+
+
+def test_demo_vc(capsys):
+    rc = main(["demo", "--n", "50", "--p", "0.1", "--algo", "vc"])
+    assert rc == 0
+    assert "2-approx cert" in capsys.readouterr().out
+
+
+def test_demo_coloring(capsys):
+    rc = main(["demo", "--n", "30", "--p", "0.1", "--algo", "coloring"])
+    assert rc == 0
+    assert "proper: True" in capsys.readouterr().out
+
+
+def test_file_input_and_output(tmp_path, capsys):
+    g = gnp_random_graph(40, 0.15, seed=5)
+    inp = tmp_path / "g.edges"
+    outp = tmp_path / "mis.txt"
+    write_edge_list(g, inp)
+    rc = main(["mis", str(inp), "--out", str(outp)])
+    assert rc == 0
+    ids = [int(line) for line in outp.read_text().split()]
+    from repro.verify import verify_mis_nodes
+
+    assert verify_mis_nodes(g, np.asarray(ids))
+
+
+def test_matching_output_format(tmp_path, capsys):
+    g = gnp_random_graph(30, 0.2, seed=6)
+    inp = tmp_path / "g.edges"
+    outp = tmp_path / "mm.txt"
+    write_edge_list(g, inp)
+    rc = main(["matching", str(inp), "--out", str(outp)])
+    assert rc == 0
+    pairs = [tuple(map(int, line.split())) for line in outp.read_text().splitlines()]
+    from repro.verify import verify_matching_pairs
+
+    assert verify_matching_pairs(g, np.asarray(pairs).reshape(-1, 2))
+
+
+def test_force_flag(capsys):
+    rc = main(["demo", "--n", "40", "--p", "0.1", "--algo", "mis",
+               "--force", "general"])
+    assert rc == 0
+
+
+def test_eps_flag(capsys):
+    rc = main(["demo", "--n", "40", "--p", "0.1", "--eps", "0.8"])
+    assert rc == 0
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_algo():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["demo", "--algo", "bogus"])

@@ -1,0 +1,139 @@
+"""Tests for derived problems: vertex cover and (Delta+1)-coloring."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    deterministic_coloring,
+    deterministic_vertex_cover,
+    is_vertex_cover,
+)
+from repro.core.derived import _product_graph
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+# --------------------------------------------------------------------- #
+# vertex cover
+# --------------------------------------------------------------------- #
+
+
+def test_vertex_cover_covers_everything(any_graph):
+    vc = deterministic_vertex_cover(any_graph)
+    assert is_vertex_cover(any_graph, vc.cover)
+
+
+def test_vertex_cover_two_approx_certificate(any_graph):
+    """|cover| = 2 |M| and |M| <= OPT, so the ratio certificate is exact."""
+    vc = deterministic_vertex_cover(any_graph)
+    assert vc.size <= 2 * vc.lower_bound()
+
+
+def test_vertex_cover_star_optimal_ratio():
+    """On a star, matching has 1 edge -> cover of 2 vs OPT 1: ratio 2."""
+    g = star_graph(20)
+    vc = deterministic_vertex_cover(g)
+    assert vc.size == 2
+    assert is_vertex_cover(g, vc.cover)
+
+
+def test_vertex_cover_empty_graph():
+    vc = deterministic_vertex_cover(Graph.empty(5))
+    assert vc.size == 0
+
+
+def test_vertex_cover_deterministic():
+    g = gnp_random_graph(100, 0.1, seed=1)
+    a = deterministic_vertex_cover(g)
+    b = deterministic_vertex_cover(g)
+    assert np.array_equal(a.cover, b.cover)
+
+
+def test_is_vertex_cover_detects_miss():
+    g = path_graph(3)
+    assert not is_vertex_cover(g, np.array([0]))
+    assert is_vertex_cover(g, np.array([1]))
+
+
+# --------------------------------------------------------------------- #
+# product graph
+# --------------------------------------------------------------------- #
+
+
+def test_product_graph_shape():
+    g = path_graph(3)  # n=3, m=2
+    k = 3
+    prod = _product_graph(g, k)
+    assert prod.n == 9
+    # m*k cross edges + n*C(k,2) clique edges
+    assert prod.m == 2 * 3 + 3 * 3
+
+
+def test_product_graph_degree_bound():
+    g = cycle_graph(10)
+    prod = _product_graph(g, g.max_degree() + 1)
+    # (v,c) has k-1 clique edges + one copy per neighbour = Delta.
+    assert prod.max_degree() == (g.max_degree() + 1 - 1) + g.max_degree()
+
+
+# --------------------------------------------------------------------- #
+# coloring via MIS
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: path_graph(12),
+        lambda: cycle_graph(11),  # odd cycle: needs 3 colors
+        lambda: grid_graph(6, 6),
+        lambda: complete_graph(6),
+        lambda: gnp_random_graph(40, 0.12, seed=2),
+    ],
+)
+def test_coloring_proper_and_within_palette(make):
+    g = make()
+    res = deterministic_coloring(g)
+    assert res.num_colors == g.max_degree() + 1
+    assert np.all(res.colors >= 0)
+    assert np.all(res.colors < res.num_colors)
+    if g.m:
+        assert np.all(res.colors[g.edges_u] != res.colors[g.edges_v])
+
+
+def test_coloring_complete_graph_uses_all_colors():
+    g = complete_graph(5)
+    res = deterministic_coloring(g)
+    assert len(set(res.colors.tolist())) == 5
+
+
+def test_coloring_deterministic():
+    g = grid_graph(5, 5)
+    a = deterministic_coloring(g)
+    b = deterministic_coloring(g)
+    assert np.array_equal(a.colors, b.colors)
+
+
+def test_coloring_insufficient_palette_raises():
+    g = complete_graph(5)
+    with pytest.raises(ValueError):
+        deterministic_coloring(g, num_colors=3)
+
+
+def test_coloring_edgeless():
+    g = Graph.empty(4)
+    res = deterministic_coloring(g)
+    assert np.all(res.colors == 0)
+
+
+def test_coloring_reports_product_size():
+    g = path_graph(5)
+    res = deterministic_coloring(g)
+    assert res.product_n == 5 * res.num_colors
+    assert res.rounds > 0

@@ -1,0 +1,128 @@
+"""Tests for Section-3.1 graph bookkeeping on the literal engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import Graph, complete_graph, gnp_random_graph, star_graph
+from repro.mpc import (
+    CapacityExceededError,
+    SpaceExceededError,
+    distributed_degrees,
+    distributed_node_aggregate,
+)
+
+
+def test_degrees_match_oracle():
+    g = gnp_random_graph(50, 0.12, seed=1)
+    deg, rounds = distributed_degrees(g, num_machines=6, space=256)
+    assert np.array_equal(deg, g.degrees())
+    assert rounds == 4  # 3 (sort) + 1 (count & route home): the O(1) claim
+
+
+def test_degrees_on_star():
+    g = star_graph(30)
+    deg, rounds = distributed_degrees(g, num_machines=4, space=256)
+    assert np.array_equal(deg, g.degrees())
+    assert rounds == 4
+
+
+def test_degrees_on_complete_graph():
+    g = complete_graph(16)
+    deg, rounds = distributed_degrees(g, num_machines=4, space=512)
+    assert np.array_equal(deg, g.degrees())
+
+
+def test_degrees_rounds_constant_in_size():
+    small = gnp_random_graph(20, 0.2, seed=2)
+    large = gnp_random_graph(80, 0.1, seed=2)
+    _, r1 = distributed_degrees(small, num_machines=4, space=512)
+    _, r2 = distributed_degrees(large, num_machines=4, space=512)
+    assert r1 == r2 == 4
+
+
+def test_insufficient_space_raises_model_error():
+    g = complete_graph(20)  # 380 arcs
+    with pytest.raises((SpaceExceededError, CapacityExceededError)):
+        distributed_degrees(g, num_machines=4, space=32)
+
+
+def test_aggregate_inverse_degrees():
+    """The Section-4.1 quantity sum_{u ~ v} 1/d(u), computed distributedly."""
+    g = gnp_random_graph(40, 0.15, seed=3)
+    d = g.degrees().astype(float)
+    want = np.zeros(g.n)
+    np.add.at(want, g.edges_u, 1.0 / d[g.edges_v])
+    np.add.at(want, g.edges_v, 1.0 / d[g.edges_u])
+    got, rounds = distributed_node_aggregate(
+        g, lambda v, u: 1.0 / d[u], num_machines=5, space=512
+    )
+    assert np.allclose(got, want, atol=1e-4)
+    assert rounds == 4
+
+
+def test_aggregate_constant_weights_equals_degrees():
+    g = gnp_random_graph(30, 0.2, seed=4)
+    got, _ = distributed_node_aggregate(
+        g, lambda v, u: 1.0, num_machines=4, space=512
+    )
+    assert np.allclose(got, g.degrees())
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=8)
+def test_degrees_hypothesis_random_graphs(seed):
+    g = gnp_random_graph(25, 0.2, seed=seed)
+    deg, _ = distributed_degrees(g, num_machines=4, space=512)
+    assert np.array_equal(deg, g.degrees())
+
+
+# --------------------------------------------------------------------- #
+# full distributed Luby MIS on the engine
+# --------------------------------------------------------------------- #
+
+from repro.mpc import distributed_luby_mis  # noqa: E402
+from repro.verify import verify_mis_nodes  # noqa: E402
+from repro.graphs import cycle_graph, path_graph  # noqa: E402
+
+
+@pytest.mark.parametrize(
+    "make,machines,space",
+    [
+        (lambda: gnp_random_graph(30, 0.2, seed=1), 4, 512),
+        (lambda: cycle_graph(24), 3, 256),
+        (lambda: complete_graph(12), 3, 512),
+        (lambda: path_graph(15), 3, 256),
+        (lambda: star_graph(20), 3, 512),
+    ],
+)
+def test_distributed_luby_correct(make, machines, space):
+    g = make()
+    mis, rounds, phases = distributed_luby_mis(g, machines, space)
+    assert verify_mis_nodes(g, mis)
+    assert phases >= 1
+    assert rounds == 10 * phases  # exactly 10 engine rounds per phase
+
+
+def test_distributed_luby_rounds_per_phase_constant():
+    """The O(1) rounds-per-iteration claim, on real messages."""
+    small = gnp_random_graph(16, 0.3, seed=2)
+    large = gnp_random_graph(48, 0.12, seed=2)
+    _, r1, p1 = distributed_luby_mis(small, 3, 512)
+    _, r2, p2 = distributed_luby_mis(large, 5, 512)
+    assert r1 / p1 == r2 / p2 == 10
+
+
+def test_distributed_luby_deterministic():
+    g = gnp_random_graph(30, 0.2, seed=3)
+    a = distributed_luby_mis(g, 4, 512)
+    b = distributed_luby_mis(g, 4, 512)
+    assert np.array_equal(a[0], b[0])
+    assert a[1:] == b[1:]
+
+
+def test_distributed_luby_edgeless():
+    g = Graph.empty(6)
+    mis, rounds, phases = distributed_luby_mis(g, 2, 64)
+    assert mis.tolist() == [0, 1, 2, 3, 4, 5]
+    assert phases == 0

@@ -1,0 +1,166 @@
+"""End-to-end tests for the O(log n) drivers (Theorems 7 and 14)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import matching_iteration_bound, mis_iteration_bound
+from repro.core import Params, deterministic_maximal_matching, deterministic_mis
+from repro.graphs import Graph, gnp_random_graph
+from repro.verify import verify_matching_pairs, verify_mis_nodes
+
+
+# --------------------------------------------------------------------- #
+# correctness across the graph zoo
+# --------------------------------------------------------------------- #
+
+
+def test_matching_correct_on_zoo(any_graph):
+    res = deterministic_maximal_matching(any_graph)
+    assert verify_matching_pairs(any_graph, res.pairs)
+
+
+def test_mis_correct_on_zoo(any_graph):
+    res = deterministic_mis(any_graph)
+    assert verify_mis_nodes(any_graph, res.independent_set)
+
+
+def test_empty_graph_mis_is_all_nodes():
+    g = Graph.empty(7)
+    res = deterministic_mis(g)
+    assert res.independent_set.tolist() == list(range(7))
+    assert res.iterations == 0
+
+
+def test_empty_graph_matching_is_empty():
+    g = Graph.empty(7)
+    res = deterministic_maximal_matching(g)
+    assert res.pairs.size == 0
+
+
+def test_single_edge():
+    g = Graph.from_edges(2, [(0, 1)])
+    mm = deterministic_maximal_matching(g)
+    assert mm.pairs.tolist() == [[0, 1]]
+    mis = deterministic_mis(g)
+    assert len(mis.independent_set) == 1
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=10)
+def test_matching_correct_on_random_gnp(seed):
+    g = gnp_random_graph(60, 0.1, seed=seed)
+    res = deterministic_maximal_matching(g)
+    assert verify_matching_pairs(g, res.pairs)
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=10)
+def test_mis_correct_on_random_gnp(seed):
+    g = gnp_random_graph(60, 0.1, seed=seed)
+    res = deterministic_mis(g)
+    assert verify_mis_nodes(g, res.independent_set)
+
+
+# --------------------------------------------------------------------- #
+# determinism (the headline property)
+# --------------------------------------------------------------------- #
+
+
+def test_matching_fully_deterministic(medium_gnp):
+    a = deterministic_maximal_matching(medium_gnp)
+    b = deterministic_maximal_matching(medium_gnp)
+    assert np.array_equal(a.pairs, b.pairs)
+    assert a.rounds == b.rounds
+    assert a.iterations == b.iterations
+
+
+def test_mis_fully_deterministic(medium_gnp):
+    a = deterministic_mis(medium_gnp)
+    b = deterministic_mis(medium_gnp)
+    assert np.array_equal(a.independent_set, b.independent_set)
+    assert a.rounds == b.rounds
+
+
+# --------------------------------------------------------------------- #
+# progress / iteration bounds (the O(log n) claims)
+# --------------------------------------------------------------------- #
+
+
+def test_matching_iterations_within_paper_bound(medium_gnp):
+    params = Params()
+    res = deterministic_maximal_matching(medium_gnp, params)
+    bound = matching_iteration_bound(medium_gnp.m, params.delta_value)
+    assert res.iterations <= bound
+
+
+def test_mis_iterations_within_paper_bound(medium_gnp):
+    params = Params()
+    res = deterministic_mis(medium_gnp, params)
+    bound = mis_iteration_bound(medium_gnp.m, params.delta_value)
+    assert res.iterations <= bound
+
+
+def test_matching_per_iteration_progress(medium_gnp):
+    """Every iteration removes at least delta |E| / 536 edges (Sec 3.3)."""
+    params = Params()
+    res = deterministic_maximal_matching(medium_gnp, params)
+    for rec in res.records:
+        if rec.selection_satisfied:
+            min_removed = params.delta_value * rec.edges_before / 536.0
+            assert rec.edges_before - rec.edges_after >= min_removed
+
+
+def test_mis_per_iteration_progress(medium_gnp):
+    """Every iteration removes at least delta^2 |E| / 400 edges (Sec 4.4)."""
+    params = Params()
+    res = deterministic_mis(medium_gnp, params)
+    for rec in res.records:
+        if rec.selection_satisfied:
+            min_removed = params.delta_value**2 * rec.edges_before / 400.0
+            assert rec.edges_before - rec.edges_after >= min_removed
+
+
+def test_edge_trace_strictly_decreasing(medium_gnp):
+    res = deterministic_mis(medium_gnp)
+    for rec in res.records:
+        assert rec.edges_after < rec.edges_before
+
+
+def test_rounds_scale_with_iterations(medium_gnp):
+    res = deterministic_maximal_matching(medium_gnp)
+    # O(1) charged rounds per iteration: total / iterations bounded.
+    assert res.rounds <= 80 * res.iterations
+
+
+# --------------------------------------------------------------------- #
+# space accounting (Theorem 7/14 space claims)
+# --------------------------------------------------------------------- #
+
+
+def test_space_within_limit(medium_gnp):
+    mm = deterministic_maximal_matching(medium_gnp)
+    assert mm.max_machine_words <= mm.space_limit
+    mi = deterministic_mis(medium_gnp)
+    assert mi.max_machine_words <= mi.space_limit
+
+
+def test_records_expose_seed_bits(medium_gnp):
+    res = deterministic_mis(medium_gnp)
+    for rec in res.records:
+        assert rec.seed_bits > 0
+
+
+def test_eps_parameter_changes_space():
+    g = gnp_random_graph(150, 0.05, seed=12)
+    lo = deterministic_mis(g, Params(eps=0.4))
+    hi = deterministic_mis(g, Params(eps=0.8))
+    assert lo.space_limit < hi.space_limit
+    assert verify_mis_nodes(g, lo.independent_set)
+    assert verify_mis_nodes(g, hi.independent_set)
+
+
+def test_iteration_cap_raises():
+    g = gnp_random_graph(60, 0.1, seed=13)
+    with pytest.raises(RuntimeError):
+        deterministic_mis(g, max_iterations=0)

@@ -1,0 +1,107 @@
+"""Larger integration tests: the full pipelines at benchmark scale.
+
+These are slower tests (seconds, not milliseconds) that exercise the entire
+stack on realistic workloads and assert the theorem-level facts a user
+would rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import maximal_independent_set, maximal_matching
+from repro.analysis import (
+    fit_geometric_decay,
+    matching_iteration_bound,
+    mis_iteration_bound,
+)
+from repro.cclique import cc_mis
+from repro.congest import congest_mis
+from repro.core import Params, deterministic_maximal_matching, deterministic_mis
+from repro.graphs import (
+    gnp_random_graph,
+    power_law_graph,
+    random_bipartite_graph,
+    random_regular_graph,
+)
+from repro.verify import verify_matching_pairs, verify_mis_nodes
+
+
+def test_full_pipeline_medium_gnp():
+    g = gnp_random_graph(1000, 0.01, seed=500)
+    params = Params()
+    mi = deterministic_mis(g, params)
+    mm = deterministic_maximal_matching(g, params)
+    assert verify_mis_nodes(g, mi.independent_set)
+    assert verify_matching_pairs(g, mm.pairs)
+    assert mi.iterations <= mis_iteration_bound(g.m, params.delta_value)
+    assert mm.iterations <= matching_iteration_bound(g.m, params.delta_value)
+    assert mi.max_machine_words <= mi.space_limit
+    assert mm.max_machine_words <= mm.space_limit
+
+
+def test_full_pipeline_power_law():
+    """Heavy-tailed degrees: the degree-class machinery earns its keep."""
+    g = power_law_graph(1200, 4, seed=501)
+    mi = deterministic_mis(g)
+    mm = deterministic_maximal_matching(g)
+    assert verify_mis_nodes(g, mi.independent_set)
+    assert verify_matching_pairs(g, mm.pairs)
+    # Classes above 4 must have appeared (hubs) => real sparsification ran.
+    assert any(rec.stages for rec in mm.records)
+
+
+def test_full_pipeline_bipartite():
+    g = random_bipartite_graph(300, 300, 0.02, seed=502)
+    mm = maximal_matching(g)
+    assert verify_matching_pairs(g, mm.pairs)
+    mi = maximal_independent_set(g)
+    assert verify_mis_nodes(g, mi.independent_set)
+    # An MIS of a bipartite graph has at least half of one side's
+    # non-dominated structure; sanity: at least max(n_left-matched, ...).
+    assert len(mi.independent_set) >= 300 - mm.pairs.shape[0]
+
+
+def test_geometric_decay_at_scale():
+    g = gnp_random_graph(2000, 0.005, seed=503)
+    mi = deterministic_mis(g)
+    trace = [rec.edges_before for rec in mi.records]
+    assert fit_geometric_decay(trace) < 0.9
+
+
+def test_lowdeg_at_scale():
+    g = random_regular_graph(5000, 6, seed=504)
+    res = maximal_independent_set(g)  # dispatches to Section 5
+    assert verify_mis_nodes(g, res.independent_set)
+    assert res.rounds <= 30  # flat, tiny round count
+
+
+def test_three_models_agree_on_correctness():
+    """MPC, CONGESTED CLIQUE and CONGEST runs on the same graph all
+    produce valid (generally different) MISs."""
+    g = gnp_random_graph(200, 0.08, seed=505)
+    a = deterministic_mis(g).independent_set
+    b = cc_mis(g).solution
+    c = congest_mis(g).independent_set
+    for sol in (a, b, c):
+        assert verify_mis_nodes(g, sol)
+
+
+def test_reproducibility_across_parameter_echo():
+    """Same params -> same everything, including the trace."""
+    g = gnp_random_graph(400, 0.03, seed=506)
+    p = Params(eps=0.6, c=4)
+    r1 = deterministic_mis(g, p)
+    r2 = deterministic_mis(g, p)
+    assert np.array_equal(r1.independent_set, r2.independent_set)
+    assert [rec.selection_trials for rec in r1.records] == [
+        rec.selection_trials for rec in r2.records
+    ]
+    assert r1.rounds_by_category == r2.rounds_by_category
+
+
+@pytest.mark.parametrize("eps", [0.3, 0.5, 0.9])
+def test_fully_scalable_in_eps(eps):
+    """Theorem 1 is 'fully scalable': any constant eps works."""
+    g = gnp_random_graph(300, 0.05, seed=507)
+    res = deterministic_mis(g, Params(eps=eps))
+    assert verify_mis_nodes(g, res.independent_set)

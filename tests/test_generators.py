@@ -1,0 +1,175 @@
+"""Tests for graph generators (shape properties + determinism by seed)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    bounded_degree_graph,
+    caterpillar_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    gnp_random_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    power_law_graph,
+    random_bipartite_graph,
+    random_regular_graph,
+    random_tree,
+    star_graph,
+)
+
+
+def test_path_graph():
+    g = path_graph(5)
+    assert g.m == 4
+    assert g.max_degree() == 2
+    assert g.degree(0) == 1 and g.degree(4) == 1
+
+
+def test_path_trivial():
+    assert path_graph(1).m == 0
+    assert path_graph(0).n == 0
+
+
+def test_cycle_graph():
+    g = cycle_graph(6)
+    assert g.m == 6
+    assert np.all(g.degrees() == 2)
+
+
+def test_cycle_small_degenerates_to_path():
+    assert cycle_graph(2).m == 1
+
+
+def test_star_graph():
+    g = star_graph(7)
+    assert g.m == 6
+    assert g.degree(0) == 6
+    assert all(g.degree(v) == 1 for v in range(1, 7))
+
+
+def test_complete_graph():
+    g = complete_graph(6)
+    assert g.m == 15
+    assert np.all(g.degrees() == 5)
+
+
+def test_complete_bipartite():
+    g = complete_bipartite_graph(3, 4)
+    assert g.n == 7 and g.m == 12
+    assert all(g.degree(v) == 4 for v in range(3))
+    assert all(g.degree(v) == 3 for v in range(3, 7))
+
+
+def test_grid_graph():
+    g = grid_graph(3, 4)
+    assert g.n == 12
+    assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+    assert g.max_degree() == 4
+
+
+def test_hypercube():
+    g = hypercube_graph(4)
+    assert g.n == 16
+    assert np.all(g.degrees() == 4)
+    assert g.m == 32
+
+
+def test_caterpillar():
+    g = caterpillar_graph(4, 2)
+    assert g.n == 4 + 8
+    assert g.m == 3 + 8
+    assert g.degree(0) == 3  # one spine neighbour + two legs
+
+
+def test_empty():
+    g = empty_graph(9)
+    assert g.n == 9 and g.m == 0
+
+
+def test_gnp_determinism():
+    a = gnp_random_graph(50, 0.2, seed=42)
+    b = gnp_random_graph(50, 0.2, seed=42)
+    c = gnp_random_graph(50, 0.2, seed=43)
+    assert a == b
+    assert a != c  # overwhelmingly likely
+
+
+def test_gnp_extremes():
+    assert gnp_random_graph(20, 0.0, seed=1).m == 0
+    assert gnp_random_graph(20, 1.0, seed=1).m == 190
+
+
+def test_gnp_rejects_bad_p():
+    with pytest.raises(ValueError):
+        gnp_random_graph(10, 1.5, seed=0)
+
+
+def test_gnp_density_plausible():
+    g = gnp_random_graph(200, 0.1, seed=5)
+    expected = 0.1 * 199 * 200 / 2
+    assert 0.7 * expected < g.m < 1.3 * expected
+
+
+def test_random_tree_is_tree():
+    g = random_tree(40, seed=3)
+    assert g.m == 39
+    nxg = g.to_networkx()
+    import networkx as nx
+
+    assert nx.is_connected(nxg)
+
+
+def test_random_bipartite_sides():
+    g = random_bipartite_graph(10, 15, 0.5, seed=2)
+    # No edge within a side.
+    for u, v in zip(g.edges_u.tolist(), g.edges_v.tolist()):
+        assert (u < 10) != (v < 10)
+
+
+def test_random_regular_degree_cap():
+    g = random_regular_graph(60, 6, seed=4)
+    assert g.max_degree() <= 6
+    assert g.degrees().mean() > 4  # most stubs survive
+
+
+def test_random_regular_rejects_odd_product():
+    with pytest.raises(ValueError):
+        random_regular_graph(5, 3, seed=0)
+
+
+def test_random_regular_rejects_d_ge_n():
+    with pytest.raises(ValueError):
+        random_regular_graph(4, 4, seed=0)
+
+
+def test_bounded_degree_respects_cap():
+    g = bounded_degree_graph(150, 5, 0.8, seed=6)
+    assert g.max_degree() <= 5
+
+
+def test_bounded_degree_density():
+    g = bounded_degree_graph(200, 4, 0.9, seed=7)
+    assert g.m >= 0.5 * 0.9 * 200 * 4 / 2  # roughly achieves the target
+
+
+def test_power_law_determinism_and_skew():
+    a = power_law_graph(150, 2, seed=8)
+    b = power_law_graph(150, 2, seed=8)
+    assert a == b
+    deg = a.degrees()
+    # Heavy tail: max degree far above the median.
+    assert deg.max() >= 4 * np.median(deg[deg > 0])
+
+
+def test_power_law_small_n_complete():
+    g = power_law_graph(3, 3, seed=1)
+    assert g.m == 3  # K3
+
+
+def test_power_law_rejects_bad_attach():
+    with pytest.raises(ValueError):
+        power_law_graph(10, 0, seed=1)

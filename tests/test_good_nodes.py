@@ -1,0 +1,175 @@
+"""Tests for good-node selection -- the paper's Lemma 3, Corollaries 8/15/16.
+
+These are *theorems*, so the tests assert the exact inequalities on a zoo of
+graphs, not just plausibility.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Params, degree_class_of, good_nodes_matching, good_nodes_mis
+from repro.graphs import Graph, gnp_random_graph
+
+
+# --------------------------------------------------------------------- #
+# degree classes
+# --------------------------------------------------------------------- #
+
+
+def test_degree_class_isolated_is_zero():
+    cls = degree_class_of(np.array([0, 1, 5]), n=100, delta=0.125)
+    assert cls[0] == 0
+    assert cls[1] >= 1
+
+
+def test_degree_class_boundaries():
+    n, delta = 256, 0.25  # n^delta = 4: classes [1,4), [4,16), [16,64), [64,256)
+    cls = degree_class_of(np.array([1, 3, 4, 15, 16, 63, 64, 255]), n, delta)
+    assert cls.tolist() == [1, 1, 2, 2, 3, 3, 4, 4]
+
+
+def test_degree_class_clipped_to_num_classes():
+    cls = degree_class_of(np.array([10**6]), n=4, delta=0.5)
+    assert cls[0] <= 2  # 1/delta = 2 classes
+
+
+@given(st.integers(1, 10_000), st.sampled_from([0.0625, 0.125, 0.25]))
+def test_degree_class_membership_property(d, delta):
+    n = 10_000
+    cls = int(degree_class_of(np.array([d]), n, delta)[0])
+    num_classes = int(np.ceil(1.0 / delta - 1e-9))
+    assert 1 <= cls <= num_classes
+    lo = n ** ((cls - 1) * delta)
+    # Within floating slack, d >= n^{(i-1) delta} (upper edge may clip).
+    assert d >= lo * (1 - 1e-6)
+
+
+# --------------------------------------------------------------------- #
+# matching good nodes (Lemma 3, Corollary 8)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_lemma3_weight_of_x(seed, params):
+    g = gnp_random_graph(100, 0.08, seed=seed)
+    good = good_nodes_matching(g, params)
+    deg = g.degrees()
+    assert float(deg[good.x_mask].sum()) >= 0.5 * g.m  # Lemma 3
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_corollary8_class_weight(seed, params):
+    g = gnp_random_graph(100, 0.08, seed=seed)
+    good = good_nodes_matching(g, params)
+    assert good.weight_b >= (params.delta_value / 2.0) * g.m  # Corollary 8
+
+
+def test_x_membership_definition(params):
+    g = gnp_random_graph(50, 0.15, seed=4)
+    good = good_nodes_matching(g, params)
+    deg = g.degrees()
+    for v in range(g.n):
+        if deg[v] == 0:
+            assert not good.x_mask[v]
+            continue
+        low = sum(1 for u in g.neighbors(v).tolist() if deg[u] <= deg[v])
+        assert bool(good.x_mask[v]) == (3 * low >= deg[v])
+
+
+def test_e0_is_union_of_xv(params):
+    g = gnp_random_graph(50, 0.15, seed=5)
+    good = good_nodes_matching(g, params)
+    deg = g.degrees()
+    for e in range(g.m):
+        u, v = int(g.edges_u[e]), int(g.edges_v[e])
+        in_xu = good.b_mask[u] and deg[v] <= deg[u]
+        in_xv = good.b_mask[v] and deg[u] <= deg[v]
+        assert bool(good.e0_mask[e]) == (in_xu or in_xv)
+        assert bool(good.in_x_of_u[e]) == in_xu
+        assert bool(good.in_x_of_v[e]) == in_xv
+
+
+def test_b_nodes_have_x_at_least_third(params):
+    """|X(v)| >= d(v)/3 for v in B -- the property Lemma 12 needs."""
+    g = gnp_random_graph(80, 0.1, seed=6)
+    good = good_nodes_matching(g, params)
+    x_count = np.zeros(g.n)
+    np.add.at(x_count, g.edges_u[good.in_x_of_u], 1)
+    np.add.at(x_count, g.edges_v[good.in_x_of_v], 1)
+    deg = g.degrees()
+    b = np.nonzero(good.b_mask)[0]
+    assert b.size > 0
+    assert np.all(3 * x_count[b] >= deg[b])
+
+
+def test_matching_good_nodes_on_regular_graph(params):
+    """On a regular graph all nodes are in X (all neighbours tie)."""
+    from repro.graphs import cycle_graph
+
+    g = cycle_graph(30)
+    good = good_nodes_matching(g, params)
+    assert good.x_mask.sum() == 30
+    assert good.e0_mask.sum() == g.m
+
+
+# --------------------------------------------------------------------- #
+# MIS good nodes (Corollaries 15, 16)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_corollary15_weight_of_a(seed, params):
+    g = gnp_random_graph(100, 0.08, seed=seed)
+    good = good_nodes_mis(g, params)
+    deg = g.degrees()
+    assert float(deg[good.a_mask].sum()) >= 0.5 * g.m  # Corollary 15
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_corollary16_class_weight(seed, params):
+    g = gnp_random_graph(100, 0.08, seed=seed)
+    good = good_nodes_mis(g, params)
+    assert good.weight_b >= (params.delta_value / 2.0) * g.m  # Corollary 16
+
+
+def test_x_subset_of_a(params):
+    """Lemma: X ⊆ A (nodes with many low-degree neighbours satisfy the
+    inverse-degree sum condition)."""
+    g = gnp_random_graph(70, 0.12, seed=7)
+    gm = good_nodes_matching(g, params)
+    gi = good_nodes_mis(g, params)
+    assert np.all(gi.a_mask[gm.x_mask])
+
+
+def test_b_definition_mis(params):
+    g = gnp_random_graph(50, 0.15, seed=8)
+    good = good_nodes_mis(g, params)
+    deg = g.degrees().astype(float)
+    i = good.i_star
+    for v in range(g.n):
+        if deg[v] == 0:
+            assert not good.b_mask[v]
+            continue
+        s = sum(
+            1.0 / deg[u]
+            for u in g.neighbors(v).tolist()
+            if good.class_of[u] == i
+        )
+        assert bool(good.b_mask[v]) == (s >= params.delta_value / 3.0 - 1e-9)
+
+
+def test_q0_is_chosen_class(params):
+    g = gnp_random_graph(50, 0.15, seed=9)
+    good = good_nodes_mis(g, params)
+    deg = g.degrees()
+    expect = (good.class_of == good.i_star) & (deg > 0)
+    assert np.array_equal(good.q0_mask, expect)
+
+
+def test_empty_graph_good_nodes(params):
+    g = Graph.empty(10)
+    gm = good_nodes_matching(g, params)
+    gi = good_nodes_mis(g, params)
+    assert gm.num_good == 0 and gi.num_good == 0
+    assert gm.weight_b == 0 and gi.weight_b == 0

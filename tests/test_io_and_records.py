@@ -1,0 +1,106 @@
+"""Tests for edge-list I/O and result-record helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import deterministic_maximal_matching, deterministic_mis
+from repro.core.records import IterationRecord
+from repro.graphs import Graph, gnp_random_graph, read_edge_list, write_edge_list
+
+
+# --------------------------------------------------------------------- #
+# io
+# --------------------------------------------------------------------- #
+
+
+def test_edge_list_roundtrip(tmp_path):
+    g = gnp_random_graph(30, 0.2, seed=1)
+    p = tmp_path / "g.edges"
+    write_edge_list(g, p)
+    g2 = read_edge_list(p)
+    assert g == g2
+
+
+def test_edge_list_header_preserves_isolated_tail(tmp_path):
+    g = Graph.from_edges(10, [(0, 1)])  # nodes 2..9 isolated
+    p = tmp_path / "g.edges"
+    write_edge_list(g, p)
+    g2 = read_edge_list(p)
+    assert g2.n == 10
+
+
+def test_edge_list_n_override(tmp_path):
+    g = Graph.from_edges(3, [(0, 1)])
+    p = tmp_path / "g.edges"
+    write_edge_list(g, p)
+    g2 = read_edge_list(p, n=8)
+    assert g2.n == 8 and g2.m == 1
+
+
+def test_edge_list_infers_n_without_header(tmp_path):
+    p = tmp_path / "g.edges"
+    p.write_text("0 3\n1 2\n")
+    g = read_edge_list(p)
+    assert g.n == 4 and g.m == 2
+
+
+def test_edge_list_skips_comments_and_blanks(tmp_path):
+    p = tmp_path / "g.edges"
+    p.write_text("# comment\n\n0 1\n# another\n1 2\n")
+    g = read_edge_list(p)
+    assert g.m == 2
+
+
+def test_edge_list_empty_graph(tmp_path):
+    g = Graph.empty(4)
+    p = tmp_path / "g.edges"
+    write_edge_list(g, p)
+    assert read_edge_list(p) == g
+
+
+# --------------------------------------------------------------------- #
+# records
+# --------------------------------------------------------------------- #
+
+
+def test_matching_result_masks():
+    g = gnp_random_graph(40, 0.15, seed=2)
+    res = deterministic_maximal_matching(g)
+    mask = res.matching_mask(g.n)
+    assert mask.sum() == 2 * res.pairs.shape[0]
+    assert np.array_equal(np.nonzero(mask)[0], res.matched_nodes)
+
+
+def test_mis_result_mask():
+    g = gnp_random_graph(40, 0.15, seed=3)
+    res = deterministic_mis(g)
+    mask = res.mis_mask(g.n)
+    assert mask.sum() == len(res.independent_set)
+
+
+def test_iteration_record_removed_fraction():
+    rec = IterationRecord(
+        iteration=1, edges_before=100, edges_after=40, i_star=1,
+        num_good_nodes=5, weight_b=10.0, stages=tuple(),
+        selection_value=1.0, selection_target=1.0, selection_trials=1,
+        selection_satisfied=True, seed_bits=8, nodes_removed=3,
+    )
+    assert rec.removed_fraction == pytest.approx(0.6)
+
+
+def test_iteration_record_zero_edges():
+    rec = IterationRecord(
+        iteration=1, edges_before=0, edges_after=0, i_star=1,
+        num_good_nodes=0, weight_b=0.0, stages=tuple(),
+        selection_value=0.0, selection_target=0.0, selection_trials=0,
+        selection_satisfied=True, seed_bits=1, nodes_removed=0,
+    )
+    assert rec.removed_fraction == 0.0
+
+
+def test_rounds_by_category_sums_to_total():
+    g = gnp_random_graph(60, 0.1, seed=4)
+    res = deterministic_mis(g)
+    cats = {k: v for k, v in res.rounds_by_category.items() if k != "total"}
+    assert sum(cats.values()) == res.rounds
+    assert res.rounds_by_category["total"] == res.rounds

@@ -1,0 +1,189 @@
+"""Tests for the Section-5 low-degree algorithm and the API dispatch."""
+
+import numpy as np
+import pytest
+
+from repro import maximal_independent_set, maximal_matching
+from repro.analysis import lowdeg_round_bound
+from repro.core import (
+    Params,
+    deterministic_mis,
+    lowdeg_maximal_matching,
+    lowdeg_mis,
+    phases_per_stage,
+)
+from repro.core.api import uses_lowdeg_path
+from repro.graphs import (
+    Graph,
+    bounded_degree_graph,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    hypercube_graph,
+    random_regular_graph,
+)
+from repro.verify import verify_matching_pairs, verify_mis_nodes
+
+
+# --------------------------------------------------------------------- #
+# phases_per_stage
+# --------------------------------------------------------------------- #
+
+
+def test_phases_per_stage_at_least_one():
+    assert phases_per_stage(100, 50, Params()) == 1
+
+
+def test_phases_per_stage_grows_with_n():
+    p = Params(delta=0.25)
+    small = phases_per_stage(2**8, 2, p)
+    large = phases_per_stage(2**24, 2, p)
+    assert large > small
+
+
+# --------------------------------------------------------------------- #
+# correctness
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: bounded_degree_graph(200, 4, 0.9, seed=1),
+        lambda: grid_graph(12, 12),
+        lambda: cycle_graph(80),
+        lambda: random_regular_graph(150, 6, seed=2),
+        lambda: hypercube_graph(6),
+    ],
+)
+def test_lowdeg_mis_correct(make):
+    g = make()
+    res = lowdeg_mis(g)
+    assert verify_mis_nodes(g, res.independent_set)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: bounded_degree_graph(150, 4, 0.9, seed=3),
+        lambda: grid_graph(10, 10),
+        lambda: cycle_graph(60),
+    ],
+)
+def test_lowdeg_matching_correct(make):
+    g = make()
+    res = lowdeg_maximal_matching(g)
+    assert verify_matching_pairs(g, res.pairs)
+
+
+def test_lowdeg_mis_empty_graph():
+    res = lowdeg_mis(Graph.empty(5))
+    assert res.independent_set.tolist() == [0, 1, 2, 3, 4]
+
+
+def test_lowdeg_matching_empty_graph():
+    res = lowdeg_maximal_matching(Graph.empty(5))
+    assert res.pairs.size == 0
+
+
+def test_lowdeg_deterministic():
+    g = grid_graph(10, 10)
+    a = lowdeg_mis(g)
+    b = lowdeg_mis(g)
+    assert np.array_equal(a.independent_set, b.independent_set)
+    assert a.rounds == b.rounds
+
+
+# --------------------------------------------------------------------- #
+# round accounting: the O(log Delta + log log n) shape
+# --------------------------------------------------------------------- #
+
+
+def test_lowdeg_beats_general_path_on_rounds():
+    g = grid_graph(12, 12)
+    low = lowdeg_mis(g)
+    gen = deterministic_mis(g)
+    assert low.rounds < gen.rounds
+
+
+def test_lowdeg_round_bound_holds():
+    g = random_regular_graph(200, 6, seed=4)
+    res = lowdeg_mis(g)
+    # Generous explicit constants; the *shape* is what matters.
+    assert res.rounds <= lowdeg_round_bound(g.n, g.max_degree(), 12.0, 12.0)
+
+
+def test_lowdeg_stage_compression_recorded():
+    g = grid_graph(12, 12)
+    res = lowdeg_mis(g)
+    assert res.stages_compressed >= 1
+    assert res.stages_compressed <= res.iterations
+
+
+def test_lowdeg_uses_color_seeds():
+    g = grid_graph(12, 12)
+    res = lowdeg_mis(g)
+    assert res.num_colors >= 1
+    for rec in res.records:
+        assert rec.seed_bits > 0
+
+
+def test_lowdeg_space_within_limit():
+    g = random_regular_graph(150, 5, seed=5)
+    res = lowdeg_mis(g)
+    assert res.max_machine_words <= res.space_limit
+
+
+# --------------------------------------------------------------------- #
+# dispatch
+# --------------------------------------------------------------------- #
+
+
+def test_dispatch_low_degree_goes_lowdeg():
+    g = grid_graph(10, 10)
+    params = Params()
+    assert uses_lowdeg_path(g, params)
+
+
+def test_dispatch_dense_goes_general():
+    g = gnp_random_graph(100, 0.5, seed=6)
+    params = Params()
+    assert not uses_lowdeg_path(g, params)
+
+
+def test_dispatch_paper_rule_is_stricter():
+    g = grid_graph(10, 10)  # Delta = 4 > n^{delta} at this n
+    params = Params()
+    assert not uses_lowdeg_path(g, params, paper_rule=True)
+
+
+def test_api_mis_dispatch_and_correctness():
+    for g in [grid_graph(9, 9), gnp_random_graph(90, 0.3, seed=7)]:
+        res = maximal_independent_set(g)
+        assert verify_mis_nodes(g, res.independent_set)
+
+
+def test_api_matching_dispatch_and_correctness():
+    for g in [grid_graph(9, 9), gnp_random_graph(90, 0.3, seed=8)]:
+        res = maximal_matching(g)
+        assert verify_matching_pairs(g, res.pairs)
+
+
+def test_api_force_paths():
+    g = grid_graph(8, 8)
+    gen = maximal_independent_set(g, force="general")
+    low = maximal_independent_set(g, force="lowdeg")
+    assert verify_mis_nodes(g, gen.independent_set)
+    assert verify_mis_nodes(g, low.independent_set)
+    with pytest.raises(ValueError):
+        maximal_independent_set(g, force="bogus")
+
+
+def test_api_matching_force_paths():
+    g = grid_graph(8, 8)
+    gen = maximal_matching(g, force="general")
+    low = maximal_matching(g, force="lowdeg")
+    assert verify_matching_pairs(g, gen.pairs)
+    assert verify_matching_pairs(g, low.pairs)
+    with pytest.raises(ValueError):
+        maximal_matching(g, force="bogus")

@@ -1,0 +1,155 @@
+"""Tests for the literal MPC engine and the Lemma-4 primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpc import (
+    CapacityExceededError,
+    MPCEngine,
+    SpaceExceededError,
+    broadcast_word,
+    distributed_prefix_sums,
+    distributed_sort,
+    word_size,
+)
+
+
+def test_word_size():
+    assert word_size(5) == 1
+    assert word_size((1, 2, 3)) == 3
+    assert word_size([1, 2]) == 2
+
+
+def test_engine_load_balanced():
+    eng = MPCEngine(num_machines=4, space=10)
+    eng.load_balanced(range(10))
+    assert eng.all_items() == list(range(10))
+    assert max(eng.machine_load(i) for i in range(4)) <= 3
+
+
+def test_engine_rejects_overload_on_load():
+    eng = MPCEngine(num_machines=2, space=3)
+    with pytest.raises(SpaceExceededError):
+        eng.load_balanced(range(10))
+
+
+def test_engine_round_moves_messages():
+    eng = MPCEngine(num_machines=2, space=10)
+    eng.load_balanced([1, 2])
+
+    def step(mid, items):
+        if mid == 0:
+            return [], [(1, x) for x in items]
+        return items, []
+
+    eng.round(step)
+    assert eng.storage[0] == []
+    assert sorted(eng.storage[1]) == [1, 2]
+    assert eng.rounds_executed == 1
+
+
+def test_engine_send_capacity_enforced():
+    eng = MPCEngine(num_machines=2, space=3)
+    eng.storage[0] = [1, 2, 3]
+
+    def step(mid, items):
+        if mid == 0:
+            return [], [(1, x) for x in items + [99]]  # 4 words > S
+        return items, []
+
+    with pytest.raises(CapacityExceededError):
+        eng.round(step)
+
+
+def test_engine_receive_capacity_enforced():
+    eng = MPCEngine(num_machines=3, space=2)
+    eng.storage[0] = [1, 2]
+    eng.storage[1] = [3, 4]
+
+    def step(mid, items):
+        if mid in (0, 1):
+            return [], [(2, x) for x in items]
+        return items, []
+
+    with pytest.raises(CapacityExceededError):
+        eng.round(step)
+
+
+def test_engine_rejects_unknown_destination():
+    eng = MPCEngine(num_machines=2, space=4)
+    eng.storage[0] = [1]
+    with pytest.raises(ValueError):
+        eng.round(lambda mid, items: (items, [(7, 1)] if mid == 0 else []))
+
+
+def test_broadcast_reaches_everyone():
+    eng = MPCEngine(num_machines=9, space=20)
+    rounds = broadcast_word(eng, "tok")
+    for mid in range(9):
+        assert ("bcast", "tok") in eng.storage[mid]
+    assert rounds <= 3
+
+
+def test_prefix_sums_single_level():
+    eng = MPCEngine(num_machines=4, space=32)
+    eng.load_balanced([1, 2, 3, 4, 5, 6, 7, 8])
+    rounds = distributed_prefix_sums(eng)
+    assert eng.all_items() == [1, 3, 6, 10, 15, 21, 28, 36]
+    assert rounds <= 5
+
+
+def test_prefix_sums_multi_level():
+    # Force the multi-level path: fanout = space // 6 = 4 < M = 5.
+    eng = MPCEngine(num_machines=5, space=24)
+    eng.load_balanced([1] * 10)
+    rounds = distributed_prefix_sums(eng)
+    assert eng.all_items() == list(range(1, 11))
+    assert rounds <= 7
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=40))
+def test_prefix_sums_hypothesis(values):
+    eng = MPCEngine(num_machines=4, space=64)
+    eng.load_balanced(values)
+    distributed_prefix_sums(eng)
+    assert eng.all_items() == list(np.cumsum(values))
+
+
+def test_sort_correct_and_constant_rounds():
+    eng = MPCEngine(num_machines=4, space=64)
+    data = [5, 3, 8, 1, 9, 2, 7, 7, 0, -4, 11, 6]
+    eng.load_balanced(data)
+    rounds = distributed_sort(eng)
+    assert eng.all_items() == sorted(data)
+    assert rounds == 3  # sample, splitters, partition
+
+
+def test_sort_single_machine():
+    eng = MPCEngine(num_machines=1, space=64)
+    eng.load_balanced([3, 1, 2])
+    assert distributed_sort(eng) == 0
+    assert eng.all_items() == [1, 2, 3]
+
+
+def test_sort_requires_sample_capacity():
+    eng = MPCEngine(num_machines=10, space=50)  # 10*9 = 90 > 50
+    eng.load_balanced(range(40))
+    with pytest.raises(ValueError):
+        distributed_sort(eng)
+
+
+@given(st.lists(st.integers(0, 1000), max_size=48))
+def test_sort_hypothesis(values):
+    eng = MPCEngine(num_machines=4, space=256)
+    eng.load_balanced(values)
+    distributed_sort(eng)
+    assert eng.all_items() == sorted(values)
+
+
+def test_sort_respects_space_throughout():
+    """Sorting adversarially skewed input never exceeds machine space."""
+    eng = MPCEngine(num_machines=4, space=64)
+    eng.load_balanced([0] * 20 + list(range(20)))
+    distributed_sort(eng)
+    assert eng.max_load_seen <= 64

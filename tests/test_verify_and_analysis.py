@@ -1,0 +1,193 @@
+"""Tests for the solution checkers and the analysis helpers."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    fit_geometric_decay,
+    fit_linear,
+    lowdeg_round_bound,
+    matching_iteration_bound,
+    mis_iteration_bound,
+    per_machine_space,
+    render_series,
+    render_table,
+    seed_bits_colors,
+    seed_bits_ids,
+    total_space_bound,
+)
+from repro.graphs import Graph, gnp_random_graph, path_graph
+from repro.verify import (
+    is_independent_set,
+    is_matching,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    verify_matching_pairs,
+    verify_mis_nodes,
+)
+
+
+# --------------------------------------------------------------------- #
+# verify
+# --------------------------------------------------------------------- #
+
+
+def test_independent_set_checks():
+    g = path_graph(4)
+    assert is_independent_set(g, np.array([True, False, True, False]))
+    assert not is_independent_set(g, np.array([True, True, False, False]))
+
+
+def test_maximal_independent_set_checks():
+    g = path_graph(4)
+    assert is_maximal_independent_set(g, np.array([True, False, True, False]))
+    # independent but not maximal: node 3 uncovered
+    assert not is_maximal_independent_set(g, np.array([True, False, False, False]))
+
+
+def test_matching_checks():
+    g = path_graph(4)  # edges (0,1),(1,2),(2,3)
+    assert is_matching(g, np.array([True, False, True]))
+    assert not is_matching(g, np.array([True, True, False]))
+
+
+def test_maximal_matching_checks():
+    g = path_graph(4)
+    assert is_maximal_matching(g, np.array([True, False, True]))
+    assert not is_maximal_matching(g, np.array([True, False, False]))
+    assert is_maximal_matching(g, np.array([False, True, False]))
+
+
+def test_verify_matching_pairs_rejects_non_edges():
+    g = path_graph(4)
+    assert not verify_matching_pairs(g, np.array([[0, 2]]))
+
+
+def test_verify_matching_pairs_rejects_overlap():
+    g = path_graph(4)
+    assert not verify_matching_pairs(g, np.array([[0, 1], [1, 2]]))
+
+
+def test_verify_mis_nodes_rejects_out_of_range():
+    g = path_graph(4)
+    assert not verify_mis_nodes(g, np.array([7]))
+
+
+def test_checkers_agree_with_networkx():
+    g = gnp_random_graph(40, 0.15, seed=1)
+    nxg = g.to_networkx()
+    mis = nx.maximal_independent_set(nxg, seed=0)
+    assert verify_mis_nodes(g, np.array(sorted(mis)))
+    mm = nx.maximal_matching(nxg)
+    pairs = np.array([[u, v] for u, v in mm])
+    assert verify_matching_pairs(g, pairs)
+
+
+def test_empty_graph_edge_cases():
+    g = Graph.empty(3)
+    assert is_maximal_independent_set(g, np.ones(3, dtype=bool))
+    assert not is_maximal_independent_set(g, np.zeros(3, dtype=bool))
+    assert is_maximal_matching(g, np.zeros(0, dtype=bool))
+
+
+# --------------------------------------------------------------------- #
+# analysis.theory
+# --------------------------------------------------------------------- #
+
+
+def test_iteration_bounds_logarithmic():
+    b1 = matching_iteration_bound(1000, 0.0625)
+    b2 = matching_iteration_bound(1000**2, 0.0625)
+    assert b2 == pytest.approx(2 * b1, rel=0.01)  # log-linear in log m
+
+
+def test_mis_bound_bigger_than_matching():
+    # delta^2/400 < delta/536 for delta < 400/536... at delta = 1/16 MIS is slower.
+    assert mis_iteration_bound(1000, 0.0625) > matching_iteration_bound(1000, 0.0625)
+
+
+def test_iteration_bounds_trivial_m():
+    assert matching_iteration_bound(1, 0.1) == 1.0
+    assert mis_iteration_bound(0, 0.1) == 1.0
+
+
+def test_lowdeg_round_bound_monotone():
+    assert lowdeg_round_bound(10**6, 8) > lowdeg_round_bound(10**6, 4)
+    assert lowdeg_round_bound(10**9, 4) > lowdeg_round_bound(10**3, 4)
+
+
+def test_space_formulas():
+    assert per_machine_space(256, 0.5, factor=32) == 32 * 16
+    assert total_space_bound(100, 50, 0.5) > 50
+
+
+def test_seed_bits():
+    assert seed_bits_ids(1024) == 20
+    assert seed_bits_colors(16) == 8
+    assert seed_bits_colors(16) < seed_bits_ids(10**6)
+
+
+# --------------------------------------------------------------------- #
+# analysis.progress
+# --------------------------------------------------------------------- #
+
+
+def test_fit_linear_exact():
+    fit = fit_linear([1, 2, 3, 4], [3, 5, 7, 9])
+    assert fit.slope == pytest.approx(2.0)
+    assert fit.intercept == pytest.approx(1.0)
+    assert fit.r2 == pytest.approx(1.0)
+    assert fit.predict(10) == pytest.approx(21.0)
+
+
+def test_fit_linear_requires_two_points():
+    with pytest.raises(ValueError):
+        fit_linear([1], [2])
+
+
+@given(
+    st.floats(-5, 5),
+    st.floats(-10, 10),
+    st.lists(st.floats(0, 100), min_size=3, max_size=20, unique=True),
+)
+def test_fit_linear_recovers_exact_lines(slope, intercept, xs):
+    ys = [slope * x + intercept for x in xs]
+    fit = fit_linear(xs, ys)
+    assert fit.slope == pytest.approx(slope, abs=1e-6)
+    assert fit.intercept == pytest.approx(intercept, abs=1e-5)
+
+
+def test_fit_geometric_decay_exact():
+    trace = [1000, 500, 250, 125]
+    assert fit_geometric_decay(trace) == pytest.approx(0.5)
+
+
+def test_fit_geometric_decay_short_trace():
+    assert fit_geometric_decay([10]) == 0.0
+    assert fit_geometric_decay([]) == 0.0
+
+
+# --------------------------------------------------------------------- #
+# analysis.tables
+# --------------------------------------------------------------------- #
+
+
+def test_render_table_contains_data():
+    out = render_table("T", ["a", "bb"], [[1, 2.5], [30, 0.001]], footnote="note")
+    assert "== T ==" in out
+    assert "bb" in out
+    assert "30" in out
+    assert "note" in out
+
+
+def test_render_table_alignment():
+    out = render_table("T", ["x"], [[1], [100]])
+    lines = out.splitlines()
+    assert len(lines[2]) == len(lines[3])  # rows equally wide
+
+
+def test_render_series():
+    out = render_series("S", [1, 2], [10.0, 20.0], "n", "rounds")
+    assert "n=" in out and "rounds=" in out and "#" in out
