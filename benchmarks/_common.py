@@ -2,11 +2,17 @@
 
 Every bench prints its paper-claim-vs-measured table and also writes it to
 ``benchmarks/results/<name>.txt`` so the artifacts survive pytest's output
-capture.
+capture.  Machine-readable benches additionally write
+``benchmarks/results/BENCH_<name>.json`` via :func:`emit_json` — the
+standard artifact format downstream tooling (dashboards, regression
+trackers) consumes.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -16,3 +22,19 @@ def emit(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print("\n" + text)
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Write the standard ``BENCH_<name>.json`` artifact and return its path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    doc = {
+        "bench": name,
+        "created_unix": time.time(),
+        "machine": platform.node() or "unknown",
+        "python": platform.python_version(),
+        **payload,
+    }
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"[bench json] {path}")
+    return path

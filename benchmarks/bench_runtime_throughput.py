@@ -1,0 +1,86 @@
+"""Runtime throughput: jobs/second across worker counts, cold vs warm cache.
+
+Runs the fixed ``throughput-micro`` suite (20 small MIS/matching solves)
+through the :class:`~repro.runtime.scheduler.Scheduler` at worker counts
+{1, 2, 4}, each time twice against a fresh cache directory: the first pass
+is cache-cold (every job solved), the immediate re-run is cache-warm (every
+job served from the content-addressed store).  Emits both the human table
+and the standard ``BENCH_runtime_throughput.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.runtime import ResultCache, Scheduler, build_suite
+
+from _common import emit, emit_json
+
+WORKER_COUNTS = (1, 2, 4)
+SUITE = "throughput-micro"
+
+
+def run_throughput(base_dir: Path) -> tuple[list[tuple], dict]:
+    specs = build_suite(SUITE)
+    rows = []
+    runs = []
+    for workers in WORKER_COUNTS:
+        cache = ResultCache(base_dir / f"w{workers}")
+        sched = Scheduler(workers=workers, cache=cache)
+        cold = sched.run(specs)
+        warm = sched.run(specs)
+        assert cold.all_ok, [r.error_message for r in cold.failures()]
+        assert warm.all_ok, [r.error_message for r in warm.failures()]
+        assert warm.stats.cache_hit_rate >= 0.95, warm.stats.to_dict()
+        rows.append(
+            (
+                workers,
+                len(specs),
+                f"{cold.stats.wall_time:.3f}",
+                f"{cold.stats.jobs_per_second:.1f}",
+                f"{warm.stats.wall_time:.3f}",
+                f"{warm.stats.jobs_per_second:.1f}",
+                f"{warm.stats.cache_hit_rate:.0%}",
+                f"{cold.stats.wall_time / max(warm.stats.wall_time, 1e-9):.1f}x",
+            )
+        )
+        runs.append(
+            {
+                "workers": workers,
+                "jobs": len(specs),
+                "cold": cold.stats.to_dict(),
+                "warm": warm.stats.to_dict(),
+                "warm_speedup": cold.stats.wall_time
+                / max(warm.stats.wall_time, 1e-9),
+            }
+        )
+    payload = {"suite": SUITE, "runs": runs}
+    return rows, payload
+
+
+def _render(rows: list[tuple]) -> str:
+    from repro.analysis import render_table
+
+    return render_table(
+        f"runtime throughput  suite={SUITE}",
+        ["workers", "jobs", "cold s", "cold j/s", "warm s", "warm j/s",
+         "hit rate", "speedup"],
+        rows,
+        footnote="warm = immediate re-run against the same result cache",
+    )
+
+
+def test_runtime_throughput(benchmark, tmp_path):
+    rows, payload = benchmark.pedantic(
+        run_throughput, args=(tmp_path,), rounds=1, iterations=1
+    )
+    emit("runtime_throughput", _render(rows))
+    emit_json("runtime_throughput", payload)
+
+
+if __name__ == "__main__":
+    with tempfile.TemporaryDirectory() as td:
+        rows, payload = run_throughput(Path(td))
+    print(_render(rows))
+    emit_json("runtime_throughput", payload)

@@ -7,17 +7,23 @@ Commands
 ``vc``         2-approximate vertex cover
 ``coloring``   (Delta+1)-coloring
 ``demo``       run on a generated G(n, p) without needing an input file
+``batch``      run a named workload suite through the parallel runtime
+``cache``      inspect / clear the content-addressed result cache
 
 Examples::
 
     python -m repro demo --n 500 --p 0.02 --algo mis
     python -m repro mis graph.edges --eps 0.6 --out mis.txt
     python -m repro matching graph.edges --force lowdeg
+    python -m repro batch --suite scaling-sweep --workers 4
+    python -m repro cache stats
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 import numpy as np
@@ -127,6 +133,92 @@ def cmd_coloring(args) -> int:
     return 0 if proper else 1
 
 
+DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+
+def cmd_batch(args) -> int:
+    from .runtime import ResultCache, Scheduler, build_suite, list_suites
+
+    if args.list:
+        for suite in list_suites():
+            print(f"{suite.name:20s} {suite.description}")
+        return 0
+    if not args.suite:
+        print("error: --suite NAME required (or --list to see suites)",
+              file=sys.stderr)
+        return 2
+
+    try:
+        specs = build_suite(args.suite)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    try:
+        sched = Scheduler(
+            workers=args.workers,
+            timeout=args.timeout,
+            retries=args.retries,
+            cache=cache,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    batch = sched.run(specs)
+    st = batch.stats
+    for r in batch.results:
+        mark = "HIT " if r.cache_hit else ("ok  " if r.ok else r.status[:4])
+        line = (f"  [{mark}] {r.spec.tag or r.spec.source.label():32s} "
+                f"n={r.graph_n:<6d} rounds={r.rounds:<4d} {r.wall_time:.3f}s")
+        if not r.ok:
+            line += f"  {r.error_type}: {r.error_message}"
+        print(line)
+    print(f"batch '{args.suite}': {st.ok}/{st.total} ok "
+          f"({st.errors} errors, {st.timeouts} timeouts) "
+          f"with {st.workers} workers")
+    print(f"  wall time: {st.wall_time:.3f}s ({st.jobs_per_second:.1f} jobs/s)")
+    print(f"  cache hits: {st.cache_hits}/{st.total} "
+          f"({st.cache_hit_rate:.0%})")
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            for r in batch.results:
+                fh.write(r.to_json() + "\n")
+        print(f"  results written to {args.out}")
+    if args.json:
+        payload = {
+            "suite": args.suite,
+            "stats": st.to_dict(),
+            "jobs": [r.to_dict() for r in batch.results],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"  batch json written to {args.json}")
+    if args.report:
+        from .analysis import batch_report
+
+        with open(args.report, "w") as fh:
+            fh.write(batch_report(batch.results, st, title=f"batch: {args.suite}"))
+        print(f"  report written to {args.report}")
+    return 0 if batch.all_ok else 1
+
+
+def cmd_cache(args) -> int:
+    from .runtime import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        dropped = cache.clear()
+        print(f"cache {args.cache_dir}: cleared {dropped} entries")
+        return 0
+    size = cache.disk_usage()
+    print(f"cache {args.cache_dir}")
+    print(f"  entries: {len(cache)} (max {cache.max_entries})")
+    print(f"  disk: {size / 1024:.1f} KiB")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -158,6 +250,39 @@ def build_parser() -> argparse.ArgumentParser:
         fn=lambda a: {"mis": cmd_mis, "matching": cmd_matching,
                       "vc": cmd_vc, "coloring": cmd_coloring}[a.algo](a)
     )
+
+    batch = sub.add_parser(
+        "batch", help="run a named workload suite through the parallel runtime"
+    )
+    batch.add_argument("--suite", type=str, default=None,
+                       help="workload suite name (see --list)")
+    batch.add_argument("--list", action="store_true", help="list known suites")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="worker processes (default 1)")
+    batch.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock budget in seconds")
+    batch.add_argument("--retries", type=int, default=0,
+                       help="extra attempts per failing job")
+    batch.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR,
+                       help="result cache directory (REPRO_CACHE_DIR)")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache for this run")
+    batch.add_argument("--out", type=str, default=None,
+                       help="write per-job JobResult JSONL to a file")
+    batch.add_argument("--json", type=str, default=None,
+                       help="write batch stats + jobs as one JSON document")
+    batch.add_argument("--report", type=str, default=None,
+                       help="write a batch-level markdown report")
+    batch.set_defaults(fn=cmd_batch)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the content-addressed result cache"
+    )
+    cache.add_argument("action", choices=["stats", "clear"], nargs="?",
+                       default="stats")
+    cache.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR,
+                       help="result cache directory (REPRO_CACHE_DIR)")
+    cache.set_defaults(fn=cmd_cache)
 
     return parser
 

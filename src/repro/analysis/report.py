@@ -6,6 +6,10 @@ summary, per-iteration progress table, sparsification stage table, round
 ledger breakdown, and any fidelity events.  Used by the CLI (``--report``)
 and handy in notebooks; everything is derived from the records, so the
 report is as deterministic as the run.
+
+:func:`batch_report` does the same for a whole runtime batch: per-problem
+aggregates (success rates, cache economics, round/wall-time distributions)
+plus a per-job table, consumed by ``repro batch --report``.
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ from __future__ import annotations
 from ..core.records import MatchingResult, MISResult
 from .tables import render_table
 
-__all__ = ["run_report"]
+__all__ = ["batch_report", "run_report"]
 
 
 def run_report(result: MISResult | MatchingResult, title: str | None = None) -> str:
@@ -104,6 +108,97 @@ def run_report(result: MISResult | MatchingResult, title: str | None = None) -> 
         lines.append("## fidelity events")
         for e in result.fidelity_events:
             lines.append(f"* {e}")
+        lines.append("")
+
+    return "\n".join(lines)
+
+
+def batch_report(results, stats=None, title: str | None = None) -> str:
+    """Render a batch-level report for runtime job results.
+
+    ``results`` is an iterable of :class:`~repro.runtime.spec.JobResult`;
+    ``stats`` an optional :class:`~repro.runtime.scheduler.BatchStats`.
+    (Duck-typed to keep analysis import-independent of the runtime.)
+    """
+    results = list(results)
+    lines: list[str] = [f"# {title or 'batch run report'}", ""]
+
+    ok = [r for r in results if r.status == "ok"]
+    hits = [r for r in results if r.cache_hit]
+    lines.append(f"* jobs: {len(results)} ({len(ok)} ok, {len(results) - len(ok)} failed)")
+    lines.append(
+        f"* cache hits: {len(hits)}/{len(results)} "
+        f"({len(hits) / len(results):.0%})" if results else "* cache hits: 0/0"
+    )
+    if stats is not None:
+        lines.append(
+            f"* batch wall time: {stats.wall_time:.3f}s "
+            f"({stats.jobs_per_second:.1f} jobs/s, {stats.workers} workers)"
+        )
+        if stats.retries_used:
+            lines.append(f"* retries used: {stats.retries_used}")
+    lines.append("")
+
+    # Per-problem aggregates.
+    by_problem: dict[str, list] = {}
+    for r in results:
+        by_problem.setdefault(r.spec.problem, []).append(r)
+    agg_rows = []
+    for problem in sorted(by_problem):
+        rs = by_problem[problem]
+        good = [r for r in rs if r.status == "ok"]
+        mean_wall = sum(r.wall_time for r in rs) / len(rs)
+        max_rounds = max((r.rounds for r in good), default=0)
+        agg_rows.append(
+            (
+                problem,
+                len(rs),
+                len(good),
+                sum(1 for r in rs if r.cache_hit),
+                f"{mean_wall:.3f}",
+                max_rounds,
+            )
+        )
+    lines.append(
+        render_table(
+            "per-problem aggregates",
+            ["problem", "jobs", "ok", "cached", "mean wall s", "max rounds"],
+            agg_rows,
+        )
+    )
+    lines.append("")
+
+    job_rows = [
+        (
+            r.spec.tag or r.spec.source.label(),
+            r.spec.problem,
+            r.graph_n,
+            r.graph_m,
+            r.status,
+            "y" if r.cache_hit else "n",
+            r.rounds,
+            f"{r.wall_time:.3f}",
+            "y" if r.verified else "n",
+        )
+        for r in results
+    ]
+    lines.append(
+        render_table(
+            "jobs",
+            ["job", "problem", "n", "m", "status", "cached", "rounds", "wall s", "ver"],
+            job_rows,
+        )
+    )
+    lines.append("")
+
+    failures = [r for r in results if r.status != "ok"]
+    if failures:
+        lines.append("## failures")
+        for r in failures:
+            lines.append(
+                f"* {r.spec.tag or r.spec.source.label()}: "
+                f"[{r.status}] {r.error_type}: {r.error_message}"
+            )
         lines.append("")
 
     return "\n".join(lines)

@@ -19,7 +19,14 @@ from .luby_step import LubyStepInfo, luby_matching_step, luby_mis_step
 from .matching import deterministic_maximal_matching
 from .mis import deterministic_mis
 from .params import Params
-from .records import IterationRecord, MatchingResult, MISResult, StageRecord
+from .records import (
+    IterationRecord,
+    MatchingResult,
+    MISResult,
+    StageRecord,
+    result_from_payload,
+    result_to_payload,
+)
 from .sparsify_edges import EdgeSparsifyResult, sparsify_edges
 from .sparsify_nodes import NodeSparsifyResult, sparsify_nodes
 
@@ -49,6 +56,8 @@ __all__ = [
     "good_nodes_mis",
     "luby_matching_step",
     "luby_mis_step",
+    "result_from_payload",
+    "result_to_payload",
     "sparsify_edges",
     "sparsify_nodes",
 ]

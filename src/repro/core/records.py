@@ -9,7 +9,7 @@ model accounting (rounds by category, space high-water marks).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -18,6 +18,8 @@ __all__ = [
     "MISResult",
     "MatchingResult",
     "StageRecord",
+    "result_from_payload",
+    "result_to_payload",
 ]
 
 
@@ -120,3 +122,103 @@ class MISResult:
         if self.independent_set.size:
             mask[self.independent_set] = True
         return mask
+
+
+# ---------------------------------------------------------------------- #
+# Serialization (runtime cache / batch persistence)
+#
+# A result splits into a JSON-safe metadata dict (scalars, the full trace
+# records, the round ledger) and a dict of numpy arrays (the solution), so
+# the runtime cache can persist it as <key>.json + <key>.npz and rebuild a
+# bit-identical result object in another process.
+# ---------------------------------------------------------------------- #
+
+
+def _plain(value):
+    """Coerce numpy scalars / containers to JSON-native python values."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
+def _stage_to_dict(s: StageRecord) -> dict:
+    return {f.name: _plain(getattr(s, f.name)) for f in fields(StageRecord)}
+
+
+def _iteration_to_dict(r: IterationRecord) -> dict:
+    d = {
+        f.name: _plain(getattr(r, f.name))
+        for f in fields(IterationRecord)
+        if f.name != "stages"
+    }
+    d["stages"] = [_stage_to_dict(s) for s in r.stages]
+    return d
+
+
+def _iteration_from_dict(d: dict) -> IterationRecord:
+    d = dict(d)
+    d["stages"] = tuple(StageRecord(**s) for s in d["stages"])
+    return IterationRecord(**d)
+
+
+def result_to_payload(
+    result: MISResult | MatchingResult,
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Split a result into ``(json_safe_meta, arrays)``.
+
+    Inverse of :func:`result_from_payload`; ``json.dumps(meta)`` is
+    guaranteed to succeed.
+    """
+    is_mis = isinstance(result, MISResult)
+    meta = {
+        "kind": "mis" if is_mis else "matching",
+        "iterations": int(result.iterations),
+        "rounds": int(result.rounds),
+        "rounds_by_category": _plain(result.rounds_by_category),
+        "max_machine_words": int(result.max_machine_words),
+        "space_limit": int(result.space_limit),
+        "fidelity_events": [str(e) for e in result.fidelity_events],
+        "records": [_iteration_to_dict(r) for r in result.records],
+    }
+    if is_mis:
+        meta["stages_compressed"] = int(result.stages_compressed)
+        meta["num_colors"] = int(result.num_colors)
+        arrays = {"solution": np.asarray(result.independent_set, dtype=np.int64)}
+    else:
+        arrays = {
+            "solution": np.asarray(result.pairs, dtype=np.int64).reshape(-1, 2)
+        }
+    return meta, arrays
+
+
+def result_from_payload(
+    meta: dict, arrays: dict[str, np.ndarray]
+) -> MISResult | MatchingResult:
+    """Rebuild a result object from :func:`result_to_payload` output."""
+    kind = meta["kind"]
+    common = dict(
+        iterations=int(meta["iterations"]),
+        rounds=int(meta["rounds"]),
+        rounds_by_category={
+            str(k): int(v) for k, v in meta["rounds_by_category"].items()
+        },
+        max_machine_words=int(meta["max_machine_words"]),
+        space_limit=int(meta["space_limit"]),
+        records=tuple(_iteration_from_dict(r) for r in meta["records"]),
+        fidelity_events=tuple(meta["fidelity_events"]),
+    )
+    solution = np.asarray(arrays["solution"], dtype=np.int64)
+    if kind == "mis":
+        return MISResult(
+            independent_set=solution,
+            stages_compressed=int(meta.get("stages_compressed", 0)),
+            num_colors=int(meta.get("num_colors", 0)),
+            **common,
+        )
+    if kind == "matching":
+        return MatchingResult(pairs=solution.reshape(-1, 2), **common)
+    raise ValueError(f"unknown result kind {kind!r}")

@@ -28,7 +28,13 @@ from .coloring import (
     validate_coloring,
     validate_distance2_coloring,
 )
-from .io import read_edge_list, write_edge_list
+from .io import (
+    graph_fingerprint,
+    graph_from_npz_bytes,
+    graph_to_npz_bytes,
+    read_edge_list,
+    write_edge_list,
+)
 
 __all__ = [
     "ColoringResult",
@@ -43,6 +49,9 @@ __all__ = [
     "distance2_coloring",
     "empty_graph",
     "gnp_random_graph",
+    "graph_fingerprint",
+    "graph_from_npz_bytes",
+    "graph_to_npz_bytes",
     "greedy_coloring",
     "grid_graph",
     "hypercube_graph",

@@ -63,7 +63,14 @@ class MPCEngine:
 
     def load_balanced(self, items: Iterable[Any]) -> None:
         """Distribute input items across machines in contiguous blocks,
-        ``ceil(N / M)`` per machine (the model's arbitrary initial split)."""
+        ``ceil(N / M)`` per machine (the model's arbitrary initial split).
+
+        Loading new input starts a fresh computation: the round counter and
+        the space high-water mark are reset, so an engine instance can be
+        reused across demonstrations without stale accounting.
+        """
+        self.rounds_executed = 0
+        self.max_load_seen = 0
         data = list(items)
         per = -(-len(data) // self.num_machines) if data else 0
         for mid in range(self.num_machines):

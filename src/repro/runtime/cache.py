@@ -1,0 +1,248 @@
+"""Content-addressed result cache (npz + JSONL on disk).
+
+Layout under ``cache_dir``::
+
+    index.jsonl           append-only op log: {"op": "put"|"touch"|"evict", ...}
+    objects/<key>.json    job summary + (for MIS/matching) the full records
+                          payload from ``result_to_payload``
+    objects/<key>.npz     solution arrays
+
+The key is ``sha256(graph_fingerprint : solve_digest)`` (see
+:meth:`~repro.runtime.spec.JobSpec.cache_key`), so identical inputs solved
+with identical parameters hit the same entry no matter how the graph was
+produced or which process stored it.  The JSONL log is replayed on open to
+rebuild LRU order; it is compacted when it grows far past the live entry
+count.  Single-writer semantics: concurrent processes may *read* a cache
+directory safely, but only one scheduler should write to it at a time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.records import result_from_payload
+
+__all__ = ["CacheEntry", "CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Per-process counters plus on-disk totals."""
+
+    entries: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+    disk_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "entries": self.entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "disk_bytes": self.disk_bytes,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class CacheEntry:
+    """A resolved cache hit; arrays load lazily from the npz object."""
+
+    key: str
+    job: dict  # stored JobResult dict (summary of the original solve)
+    result_meta: dict | None  # records payload meta for MIS/matching
+    npz_path: Path
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        with np.load(self.npz_path) as z:
+            return {name: z[name].copy() for name in z.files}
+
+    def load_result(self):
+        """Rebuild the full MISResult / MatchingResult (if one was stored)."""
+        if self.result_meta is None:
+            return None
+        return result_from_payload(self.result_meta, self.arrays())
+
+
+class ResultCache:
+    """LRU-evicting, content-addressed store of finished solves."""
+
+    def __init__(self, cache_dir: str | Path, *, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.dir = Path(cache_dir)
+        self.objects_dir = self.dir / "objects"
+        self.index_path = self.dir / "index.jsonl"
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._lru: OrderedDict[str, float] = OrderedDict()  # key -> stored-at
+        self._ops_replayed = 0
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self._replay()
+        self._maybe_compact()
+
+    # ------------------------------------------------------------------ #
+    # Index log
+    # ------------------------------------------------------------------ #
+
+    def _replay(self) -> None:
+        if not self.index_path.exists():
+            return
+        with self.index_path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    op = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail write; ignore
+                self._ops_replayed += 1
+                key = op.get("key", "")
+                kind = op.get("op")
+                if kind == "put":
+                    self._lru[key] = float(op.get("at", 0.0))
+                    self._lru.move_to_end(key)
+                elif kind == "touch" and key in self._lru:
+                    self._lru.move_to_end(key)
+                elif kind == "evict":
+                    self._lru.pop(key, None)
+        # Drop index entries whose object files vanished out-of-band.
+        for key in [k for k in self._lru if not self._meta_path(k).exists()]:
+            del self._lru[key]
+        self.stats.entries = len(self._lru)
+
+    def _append(self, op: dict) -> None:
+        with self.index_path.open("a") as fh:
+            fh.write(json.dumps(op, sort_keys=True) + "\n")
+        self._ops_replayed += 1
+
+    def _maybe_compact(self) -> None:
+        if self._ops_replayed <= 4 * max(len(self._lru), 1) + 64:
+            return
+        tmp = self.index_path.with_suffix(".jsonl.tmp")
+        with tmp.open("w") as fh:
+            for key, at in self._lru.items():
+                fh.write(json.dumps({"op": "put", "key": key, "at": at}) + "\n")
+        tmp.replace(self.index_path)
+        self._ops_replayed = len(self._lru)
+
+    # ------------------------------------------------------------------ #
+    # Paths
+    # ------------------------------------------------------------------ #
+
+    def _meta_path(self, key: str) -> Path:
+        return self.objects_dir / f"{key}.json"
+
+    def _npz_path(self, key: str) -> Path:
+        return self.objects_dir / f"{key}.npz"
+
+    # ------------------------------------------------------------------ #
+    # Core API
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._lru
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def get(self, key: str) -> CacheEntry | None:
+        """Look up a key; counts a hit/miss and refreshes LRU position."""
+        meta_path = self._meta_path(key)
+        if key not in self._lru or not meta_path.exists():
+            self.stats.misses += 1
+            return None
+        with meta_path.open() as fh:
+            stored = json.load(fh)
+        self._lru.move_to_end(key)
+        self._append({"op": "touch", "key": key})
+        self._maybe_compact()  # all-warm workloads never put(); bound the log
+        self.stats.hits += 1
+        return CacheEntry(
+            key=key,
+            job=stored["job"],
+            result_meta=stored.get("result_meta"),
+            npz_path=self._npz_path(key),
+        )
+
+    def put(
+        self,
+        key: str,
+        job: dict,
+        arrays: dict[str, np.ndarray],
+        result_meta: dict | None = None,
+    ) -> None:
+        """Store a finished solve under ``key`` (idempotent overwrite)."""
+        stored = {"key": key, "job": job, "result_meta": result_meta}
+        npz_path = self._npz_path(key)
+        with npz_path.open("wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        tmp = self._meta_path(key).with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(stored, sort_keys=True))
+        tmp.replace(self._meta_path(key))
+        at = time.time()
+        self._lru[key] = at
+        self._lru.move_to_end(key)
+        self._append({"op": "put", "key": key, "at": at})
+        self.stats.stores += 1
+        self.stats.entries = len(self._lru)
+        while len(self._lru) > self.max_entries:
+            self._evict_one()
+        self._maybe_compact()
+
+    def _evict_one(self) -> None:
+        victim, _ = self._lru.popitem(last=False)  # least recently used
+        self._meta_path(victim).unlink(missing_ok=True)
+        self._npz_path(victim).unlink(missing_ok=True)
+        self._append({"op": "evict", "key": victim})
+        self.stats.evictions += 1
+        self.stats.entries = len(self._lru)
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were dropped."""
+        dropped = len(self._lru)
+        for key in list(self._lru):
+            self._meta_path(key).unlink(missing_ok=True)
+            self._npz_path(key).unlink(missing_ok=True)
+        self._lru.clear()
+        self.index_path.unlink(missing_ok=True)
+        self._ops_replayed = 0
+        self.stats.entries = 0
+        return dropped
+
+    def disk_usage(self) -> int:
+        """Total bytes of stored objects + index."""
+        total = 0
+        if self.index_path.exists():
+            total += self.index_path.stat().st_size
+        for p in self.objects_dir.iterdir():
+            total += p.stat().st_size
+        self.stats.disk_bytes = total
+        return total
+
+    def keys(self) -> list[str]:
+        """Keys in LRU order (oldest first)."""
+        return list(self._lru)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({os.fspath(self.dir)!r}, entries={len(self._lru)}, "
+            f"max_entries={self.max_entries})"
+        )

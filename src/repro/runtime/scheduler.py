@@ -1,0 +1,306 @@
+"""Process-parallel batch scheduler for :class:`~repro.runtime.spec.JobSpec`s.
+
+The scheduler owns the whole batch lifecycle:
+
+1. **Resolve** each distinct graph source once in the parent (generator call
+   or file read), fingerprint it, and pack it to npz bytes — N jobs on the
+   same input ship one buffer, never re-generate per worker.
+2. **Serve from cache**: jobs whose ``cache_key`` (graph fingerprint x solve
+   digest) is already stored come back instantly as ``cache_hit`` results.
+3. **Fan out** the misses over a ``ProcessPoolExecutor``; each worker call
+   is total (see :mod:`repro.runtime.worker`), so a failing or timing-out
+   job yields a structured failure ``JobResult`` instead of a pool crash.
+   Failed jobs are retried up to ``retries`` extra attempts.
+4. **Store** fresh successes back into the cache.
+
+Results always come back aligned with the input spec order.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from ..graphs.graph import Graph
+from ..graphs.io import graph_fingerprint, graph_to_npz_bytes
+from .cache import ResultCache
+from .spec import GraphSource, JobResult, JobSpec
+from .worker import run_job
+
+__all__ = ["BatchResult", "BatchStats", "Scheduler"]
+
+#: JobResult fields the worker payload / cache entry carries verbatim.
+_PAYLOAD_FIELDS = (
+    "wall_time",
+    "worker_pid",
+    "fingerprint",
+    "graph_n",
+    "graph_m",
+    "solution_size",
+    "iterations",
+    "rounds",
+    "max_machine_words",
+    "space_limit",
+    "verified",
+    "path",
+    "error_type",
+    "error_message",
+    "error_traceback",
+)
+
+
+@dataclass
+class BatchStats:
+    """Aggregate accounting for one :meth:`Scheduler.run` call."""
+
+    total: int = 0
+    ok: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    cache_hits: int = 0
+    retries_used: int = 0
+    wall_time: float = 0.0
+    workers: int = 1
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+    @property
+    def jobs_per_second(self) -> float:
+        return self.total / self.wall_time if self.wall_time > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "ok": self.ok,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "retries_used": self.retries_used,
+            "wall_time": self.wall_time,
+            "jobs_per_second": self.jobs_per_second,
+            "workers": self.workers,
+        }
+
+
+@dataclass
+class BatchResult:
+    """Ordered results plus batch-level stats."""
+
+    results: list[JobResult] = field(default_factory=list)
+    stats: BatchStats = field(default_factory=BatchStats)
+
+    @property
+    def all_ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def failures(self) -> list[JobResult]:
+        return [r for r in self.results if not r.ok]
+
+
+def _result_from_payload_dict(
+    spec: JobSpec, out: dict, *, attempts: int, cache_hit: bool = False
+) -> JobResult:
+    kwargs = {k: out[k] for k in _PAYLOAD_FIELDS if k in out}
+    return JobResult(
+        spec=spec,
+        status=out.get("status", "ok"),
+        attempts=attempts,
+        cache_hit=cache_hit,
+        **kwargs,
+    )
+
+
+class Scheduler:
+    """Fan a batch of job specs out over worker processes, cache-first.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (``>= 1``).  With ``workers == 1`` the pool still runs —
+        useful as a like-for-like throughput baseline.
+    timeout:
+        Per-job wall-clock budget in seconds (enforced worker-side via
+        ``SIGALRM``; ``None`` disables).
+    retries:
+        Extra attempts per failing job (0 = fail fast).
+    cache:
+        Optional :class:`ResultCache`; hits skip the pool entirely and
+        fresh successes are stored back.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        timeout: float | None = None,
+        retries: int = 0,
+        cache: ResultCache | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.cache = cache
+
+    # ------------------------------------------------------------------ #
+    # Input resolution
+    # ------------------------------------------------------------------ #
+
+    def _resolve_sources(
+        self, specs: list[JobSpec]
+    ) -> dict[GraphSource, tuple[Graph, str, bytes] | Exception]:
+        """Build each distinct source once: graph, fingerprint, npz bytes."""
+        resolved: dict[GraphSource, tuple[Graph, str, bytes] | Exception] = {}
+        for spec in specs:
+            if spec.source in resolved:
+                continue
+            try:
+                g = spec.source.resolve()
+                resolved[spec.source] = (g, graph_fingerprint(g), graph_to_npz_bytes(g))
+            except Exception as exc:  # structured parent-side failure
+                resolved[spec.source] = exc
+        return resolved
+
+    # ------------------------------------------------------------------ #
+    # Batch execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, specs: list[JobSpec]) -> BatchResult:
+        """Execute a batch; returns results aligned with ``specs`` order."""
+        t0 = time.perf_counter()
+        stats = BatchStats(total=len(specs), workers=self.workers)
+        results: list[JobResult | None] = [None] * len(specs)
+        resolved = self._resolve_sources(specs)
+
+        pending: list[int] = []
+        keys: dict[int, str] = {}
+        for idx, spec in enumerate(specs):
+            res = resolved[spec.source]
+            if isinstance(res, Exception):
+                results[idx] = JobResult(
+                    spec=spec,
+                    status="error",
+                    error_type=type(res).__name__,
+                    error_message=f"input resolution failed: {res}",
+                )
+                continue
+            _, fingerprint, _ = res
+            keys[idx] = spec.cache_key(fingerprint)
+            hit = self.cache.get(keys[idx]) if self.cache is not None else None
+            if hit is not None:
+                t_hit = time.perf_counter()
+                job = dict(hit.job)
+                job["status"] = "ok"
+                job["wall_time"] = time.perf_counter() - t_hit
+                results[idx] = _result_from_payload_dict(
+                    spec, job, attempts=0, cache_hit=True
+                )
+                stats.cache_hits += 1
+            else:
+                pending.append(idx)
+
+        if pending:
+            self._run_pool(specs, resolved, keys, pending, results, stats)
+
+        final = [r for r in results if r is not None]
+        assert len(final) == len(specs), "scheduler dropped a job"
+        for r in final:
+            if r.status == "ok":
+                stats.ok += 1
+            elif r.status == "timeout":
+                stats.timeouts += 1
+            else:
+                stats.errors += 1
+        stats.wall_time = time.perf_counter() - t0
+        return BatchResult(results=final, stats=stats)
+
+    def _run_pool(
+        self,
+        specs: list[JobSpec],
+        resolved: dict,
+        keys: dict[int, str],
+        pending: list[int],
+        results: list[JobResult | None],
+        stats: BatchStats,
+    ) -> None:
+        attempts = {idx: 0 for idx in pending}
+
+        def make_payload(idx: int) -> dict:
+            spec = specs[idx]
+            _, fingerprint, npz = resolved[spec.source]
+            return {
+                "spec": spec.to_dict(),
+                "graph_npz": npz,
+                "fingerprint": fingerprint,
+                "timeout": self.timeout,
+            }
+
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            queue = list(pending)
+            while queue:
+                futures = {}
+                submit_failed: list[tuple[int, Exception]] = []
+                for idx in queue:
+                    try:
+                        futures[pool.submit(run_job, make_payload(idx))] = idx
+                    except Exception as exc:  # pool already broken
+                        submit_failed.append((idx, exc))
+                queue = []
+                for idx, exc in submit_failed:
+                    results[idx] = JobResult(
+                        spec=specs[idx],
+                        status="error",
+                        attempts=attempts[idx] + 1,
+                        error_type=type(exc).__name__,
+                        error_message=f"pool submission failed: {exc}",
+                    )
+                for fut in as_completed(futures):
+                    idx = futures[fut]
+                    attempts[idx] += 1
+                    spec = specs[idx]
+                    try:
+                        out = fut.result()
+                    except Exception as exc:
+                        # Worker died without returning (e.g. hard crash,
+                        # unpicklable payload): structured failure, pool-level.
+                        out = {
+                            "status": "error",
+                            "error_type": type(exc).__name__,
+                            "error_message": f"pool-level failure: {exc}",
+                            "error_traceback": "",
+                        }
+                    if out.get("status") != "ok" and attempts[idx] <= self.retries:
+                        stats.retries_used += 1
+                        queue.append(idx)
+                        continue
+                    # Failure payloads may predate graph loading in the
+                    # worker; the parent resolved the input, so report it.
+                    graph, fingerprint, _ = resolved[spec.source]
+                    out.setdefault("graph_n", graph.n)
+                    out.setdefault("graph_m", graph.m)
+                    if not out.get("fingerprint"):
+                        out["fingerprint"] = fingerprint
+                    results[idx] = _result_from_payload_dict(
+                        spec, out, attempts=attempts[idx]
+                    )
+                    if out.get("status") == "ok" and self.cache is not None:
+                        self._store(keys[idx], results[idx], out)
+
+    def _store(self, key: str, result: JobResult, out: dict) -> None:
+        job = result.to_dict()
+        job.pop("spec", None)  # cache is content-addressed, not spec-addressed
+        job.pop("attempts", None)
+        job.pop("cache_hit", None)
+        self.cache.put(
+            key,
+            job=job,
+            arrays=out.get("arrays", {}),
+            result_meta=out.get("result_meta"),
+        )

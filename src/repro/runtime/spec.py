@@ -1,0 +1,266 @@
+"""Job descriptions: hashable, JSON-serializable solve specifications.
+
+A :class:`JobSpec` says *what* to solve — which problem (MIS, matching, or a
+``core.derived`` corollary), on which input (a named generator with its
+arguments, or an edge-list file), with which :class:`~repro.core.params.Params`
+knobs, and optionally pinning the Theorem-1 code path.  Specs are frozen and
+hashable so they can key dicts, and they round-trip through JSON so suites
+can be persisted and shipped to worker processes.
+
+A :class:`JobResult` is the structured outcome of one job: solve statistics
+on success, or a captured ``(type, message, traceback)`` triple on failure.
+Results are JSON-round-trippable too; solution arrays live in the result
+cache, not in the result record.
+
+Cache addressing is *content* based: the cache key combines the resolved
+graph's fingerprint (see :func:`repro.graphs.io.graph_fingerprint`) with a
+digest of the solve-relevant spec fields, so two specs that produce the same
+graph by different means share a cache entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+
+from ..graphs import generators as _generators
+from ..graphs.graph import Graph
+from ..graphs.io import read_edge_list
+from ..core.params import Params
+
+__all__ = ["GraphSource", "JobResult", "JobSpec", "PROBLEMS"]
+
+#: Problems the runtime can dispatch (Theorem 1 primitives + derived).
+PROBLEMS = ("mis", "matching", "vc", "coloring")
+
+#: Generator names a GraphSource may reference (resolved lazily so specs
+#: stay importable without building anything).
+GENERATOR_NAMES = tuple(sorted(_generators.__all__))
+
+
+def _canonical_json(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(obj) -> str:
+    return hashlib.sha256(_canonical_json(obj).encode()).hexdigest()
+
+
+def _as_pairs(mapping) -> tuple[tuple[str, object], ...]:
+    """Normalise a kwargs mapping to a sorted, hashable tuple of pairs."""
+    if isinstance(mapping, dict):
+        items = mapping.items()
+    else:
+        items = tuple(mapping)
+    out = tuple(sorted((str(k), v) for k, v in items))
+    for _, v in out:
+        if not isinstance(v, (int, float, str, bool)) and v is not None:
+            raise TypeError(f"spec argument values must be JSON scalars, got {v!r}")
+    return out
+
+
+@dataclass(frozen=True)
+class GraphSource:
+    """Where a job's input graph comes from: a generator call or a file."""
+
+    kind: str  # "generator" | "file"
+    name: str = ""  # generator function name (kind == "generator")
+    args: tuple[tuple[str, object], ...] = ()  # sorted generator kwargs
+    path: str = ""  # edge-list path (kind == "file")
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("generator", "file"):
+            raise ValueError(f"unknown source kind {self.kind!r}")
+        if self.kind == "generator" and self.name not in GENERATOR_NAMES:
+            raise ValueError(f"unknown generator {self.name!r}")
+        if self.kind == "file" and not self.path:
+            raise ValueError("file source needs a path")
+
+    @staticmethod
+    def generator(name: str, **kwargs) -> "GraphSource":
+        return GraphSource(kind="generator", name=name, args=_as_pairs(kwargs))
+
+    @staticmethod
+    def from_file(path: str) -> "GraphSource":
+        return GraphSource(kind="file", path=str(path))
+
+    def resolve(self) -> Graph:
+        """Build / load the graph this source describes."""
+        if self.kind == "generator":
+            fn = getattr(_generators, self.name)
+            return fn(**dict(self.args))
+        return read_edge_list(self.path)
+
+    def label(self) -> str:
+        if self.kind == "generator":
+            inner = ",".join(f"{k}={v}" for k, v in self.args)
+            return f"{self.name}({inner})"
+        return self.path
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "args": {k: v for k, v in self.args},
+            "path": self.path,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "GraphSource":
+        return GraphSource(
+            kind=d["kind"],
+            name=d.get("name", ""),
+            args=_as_pairs(d.get("args", {})),
+            path=d.get("path", ""),
+        )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One solve: problem kind + input + parameters (+ optional forced path).
+
+    Note: parameter *values* are validated when :meth:`make_params` runs in
+    the worker, not at spec construction — a spec with bad parameters is a
+    legal description of a job that will fail, and the scheduler reports
+    that failure structurally.
+    """
+
+    problem: str
+    source: GraphSource
+    eps: float = 0.5
+    force: str | None = None  # "general" | "lowdeg" | None (mis/matching only)
+    paper_rule: bool = False
+    overrides: tuple[tuple[str, object], ...] = ()  # extra Params kwargs
+    tag: str = ""  # free-form label for reports
+
+    def __post_init__(self) -> None:
+        if self.problem not in PROBLEMS:
+            raise ValueError(f"unknown problem {self.problem!r}; pick from {PROBLEMS}")
+        object.__setattr__(self, "overrides", _as_pairs(self.overrides))
+
+    # ------------------------------------------------------------------ #
+    # Parameters
+    # ------------------------------------------------------------------ #
+
+    def make_params(self) -> Params:
+        """Materialise Params (raises on invalid values — worker-side)."""
+        return Params(eps=self.eps, **dict(self.overrides))
+
+    def with_(self, **kwargs) -> "JobSpec":
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Digests
+    # ------------------------------------------------------------------ #
+
+    def solve_digest(self) -> str:
+        """Digest of the fields that determine the *answer* (not the input).
+
+        Excludes the graph source and tag: the input's identity enters the
+        cache key through the resolved graph's content fingerprint instead.
+        """
+        return _digest(
+            {
+                "problem": self.problem,
+                "eps": self.eps,
+                "force": self.force,
+                "paper_rule": self.paper_rule,
+                "overrides": {k: v for k, v in self.overrides},
+            }
+        )
+
+    def digest(self) -> str:
+        """Digest of the full spec (including source and tag)."""
+        return _digest(self.to_dict())
+
+    def cache_key(self, fingerprint: str) -> str:
+        """Content address: graph fingerprint x solve digest."""
+        return hashlib.sha256(
+            f"{fingerprint}:{self.solve_digest()}".encode()
+        ).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # JSON round trip
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        return {
+            "problem": self.problem,
+            "source": self.source.to_dict(),
+            "eps": self.eps,
+            "force": self.force,
+            "paper_rule": self.paper_rule,
+            "overrides": {k: v for k, v in self.overrides},
+            "tag": self.tag,
+        }
+
+    def to_json(self) -> str:
+        return _canonical_json(self.to_dict())
+
+    @staticmethod
+    def from_dict(d: dict) -> "JobSpec":
+        return JobSpec(
+            problem=d["problem"],
+            source=GraphSource.from_dict(d["source"]),
+            eps=float(d.get("eps", 0.5)),
+            force=d.get("force"),
+            paper_rule=bool(d.get("paper_rule", False)),
+            overrides=_as_pairs(d.get("overrides", {})),
+            tag=d.get("tag", ""),
+        )
+
+    @staticmethod
+    def from_json(s: str) -> "JobSpec":
+        return JobSpec.from_dict(json.loads(s))
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Structured outcome of one job (success, error, or timeout)."""
+
+    spec: JobSpec
+    status: str = "ok"  # "ok" | "error" | "timeout"
+    attempts: int = 1
+    cache_hit: bool = False
+    wall_time: float = 0.0
+    worker_pid: int = 0
+    fingerprint: str = ""
+    graph_n: int = 0
+    graph_m: int = 0
+    solution_size: int = -1
+    iterations: int = 0
+    rounds: int = 0
+    max_machine_words: int = 0
+    space_limit: int = 0
+    verified: bool = False
+    path: str = ""  # Theorem-1 path taken: "lowdeg" | "general" | ""
+    error_type: str = ""
+    error_message: str = ""
+    error_traceback: str = field(default="", repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        d = {
+            f.name: getattr(self, f.name)
+            for f in fields(JobResult)
+            if f.name != "spec"
+        }
+        d["spec"] = self.spec.to_dict()
+        return d
+
+    def to_json(self) -> str:
+        return _canonical_json(self.to_dict())
+
+    @staticmethod
+    def from_dict(d: dict) -> "JobResult":
+        d = dict(d)
+        d["spec"] = JobSpec.from_dict(d["spec"])
+        return JobResult(**d)
+
+    @staticmethod
+    def from_json(s: str) -> "JobResult":
+        return JobResult.from_dict(json.loads(s))

@@ -1,0 +1,173 @@
+"""Named workload suites: reusable scenario batches for the runtime.
+
+A :class:`WorkloadSuite` is a named, lazily-built list of
+:class:`~repro.runtime.spec.JobSpec`s.  Suites are what ``repro batch
+--suite <name>`` and the throughput benchmarks consume; registering one is
+one :func:`register_suite` call, so downstream experiments can add their
+own without touching this module.
+
+Built-ins:
+
+* ``scaling-sweep`` — G(n, p) at geometrically growing ``n`` (the classic
+  O(log n) round-bound workload), MIS + matching, two seeds each.
+* ``degree-regime`` — near-regular graphs whose degree sweeps across the
+  Theorem-1 dispatch boundary (``Delta^2 + 1 <= S``) in ``core/api.py``,
+  plus pinned-path pairs on both sides of it.
+* ``derived-problems`` — every ``core.derived`` corollary (vertex cover,
+  (Delta+1)-coloring) over heterogeneous inputs.
+* ``throughput-micro`` — twenty small, fixed G(n, p) solves; the standard
+  workload for scheduler/cache throughput benchmarking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .spec import GraphSource, JobSpec
+
+__all__ = [
+    "WorkloadSuite",
+    "build_suite",
+    "get_suite",
+    "list_suites",
+    "register_suite",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSuite:
+    """A named batch scenario; ``build()`` materialises the job list."""
+
+    name: str
+    description: str
+    builder: Callable[[], list[JobSpec]]
+
+    def build(self) -> list[JobSpec]:
+        specs = self.builder()
+        if not specs:
+            raise ValueError(f"suite {self.name!r} built an empty job list")
+        return specs
+
+
+_REGISTRY: dict[str, WorkloadSuite] = {}
+
+
+def register_suite(suite: WorkloadSuite) -> WorkloadSuite:
+    """Add (or replace) a suite in the global registry."""
+    _REGISTRY[suite.name] = suite
+    return suite
+
+
+def get_suite(name: str) -> WorkloadSuite:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown suite {name!r}; known suites: {known}") from None
+
+
+def build_suite(name: str) -> list[JobSpec]:
+    return get_suite(name).build()
+
+
+def list_suites() -> list[WorkloadSuite]:
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+# ---------------------------------------------------------------------- #
+# Built-in suites
+# ---------------------------------------------------------------------- #
+
+
+def _scaling_sweep() -> list[JobSpec]:
+    specs = []
+    for n in (200, 400, 800, 1600, 3200):
+        for seed in (0, 1):
+            src = GraphSource.generator("gnp_random_graph", n=n, p=8.0 / n, seed=seed)
+            for problem in ("mis", "matching"):
+                specs.append(
+                    JobSpec(problem, src, tag=f"{problem}-gnp-n{n}-s{seed}")
+                )
+    return specs
+
+
+def _degree_regime() -> list[JobSpec]:
+    # With eps = 0.5 and n = 512 the dispatch rule Delta^2 + 1 <= S flips
+    # around Delta ~ 26, so this degree ladder crosses the boundary.
+    n = 512
+    specs = []
+    for d in (4, 8, 16, 32, 64):
+        src = GraphSource.generator("random_regular_graph", n=n, d=d, seed=11)
+        for problem in ("mis", "matching"):
+            specs.append(JobSpec(problem, src, tag=f"{problem}-reg-d{d}"))
+    # Pinned paths on a mid-ladder graph: both algorithms on the same input.
+    src = GraphSource.generator("random_regular_graph", n=n, d=8, seed=11)
+    for problem in ("mis", "matching"):
+        for force in ("lowdeg", "general"):
+            specs.append(
+                JobSpec(problem, src, force=force, tag=f"{problem}-reg-d8-{force}")
+            )
+    return specs
+
+
+def _derived_problems() -> list[JobSpec]:
+    inputs = [
+        ("gnp", GraphSource.generator("gnp_random_graph", n=300, p=0.02, seed=5)),
+        ("plaw", GraphSource.generator("power_law_graph", n=250, attach=2, seed=5)),
+        ("tree", GraphSource.generator("random_tree", n=400, seed=5)),
+    ]
+    specs = [
+        JobSpec("vc", src, tag=f"vc-{label}") for label, src in inputs
+    ]
+    # Coloring builds a product graph with n * (Delta + 1) nodes; keep the
+    # inputs degree-bounded so the suite stays interactive.
+    color_inputs = [
+        ("reg4", GraphSource.generator("random_regular_graph", n=150, d=4, seed=3)),
+        ("grid", GraphSource.generator("grid_graph", rows=12, cols=12)),
+        ("cycle", GraphSource.generator("cycle_graph", n=200)),
+    ]
+    specs += [
+        JobSpec("coloring", src, tag=f"coloring-{label}")
+        for label, src in color_inputs
+    ]
+    return specs
+
+
+def _throughput_micro() -> list[JobSpec]:
+    specs = []
+    for seed in range(10):
+        src = GraphSource.generator("gnp_random_graph", n=240, p=8.0 / 240, seed=seed)
+        for problem in ("mis", "matching"):
+            specs.append(JobSpec(problem, src, tag=f"{problem}-micro-s{seed}"))
+    return specs
+
+
+register_suite(
+    WorkloadSuite(
+        "scaling-sweep",
+        "G(n, p) scaling ladder (n = 200..3200, 2 seeds), MIS + matching",
+        _scaling_sweep,
+    )
+)
+register_suite(
+    WorkloadSuite(
+        "degree-regime",
+        "near-regular degree ladder across the Theorem-1 dispatch boundary",
+        _degree_regime,
+    )
+)
+register_suite(
+    WorkloadSuite(
+        "derived-problems",
+        "vertex cover + (Delta+1)-coloring over heterogeneous inputs",
+        _derived_problems,
+    )
+)
+register_suite(
+    WorkloadSuite(
+        "throughput-micro",
+        "20 small fixed G(n, p) solves for scheduler/cache benchmarking",
+        _throughput_micro,
+    )
+)

@@ -1,0 +1,152 @@
+"""Worker-side job execution (runs inside pool processes).
+
+:func:`run_job` is the single entry point the scheduler submits to its
+``ProcessPoolExecutor``.  It is deliberately total: *every* failure mode —
+bad parameters, generator errors, solver exceptions, per-job timeouts — is
+caught and returned as a structured payload, so a failing job never takes
+the pool down.  Timeouts use ``SIGALRM`` (POSIX), which interrupts the solve
+inside the worker instead of leaving an orphaned computation behind.
+
+The input graph arrives either as pickled-npz bytes (packed once by the
+scheduler, so N jobs on the same graph ship one buffer each without
+re-generating) or as a :class:`~repro.runtime.spec.GraphSource` to resolve
+locally.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import traceback
+
+import numpy as np
+
+from ..core.api import maximal_independent_set, maximal_matching, uses_lowdeg_path
+from ..core.derived import (
+    deterministic_coloring,
+    deterministic_vertex_cover,
+    is_vertex_cover,
+)
+from ..core.records import result_to_payload
+from ..graphs.graph import Graph
+from ..graphs.io import graph_fingerprint, graph_from_npz_bytes
+from ..verify import verify_matching_pairs, verify_mis_nodes
+from .spec import JobSpec
+
+__all__ = ["execute_spec", "run_job"]
+
+
+class JobTimeout(Exception):
+    """Raised inside the worker when the per-job wall-clock budget expires."""
+
+
+def _raise_timeout(signum, frame):  # pragma: no cover - signal plumbing
+    raise JobTimeout()
+
+
+def execute_spec(spec: JobSpec, graph: Graph) -> dict:
+    """Solve one spec on a resolved graph; returns the success payload parts.
+
+    Raises on failure — :func:`run_job` is the layer that converts
+    exceptions into structured failure payloads.
+    """
+    params = spec.make_params()
+    out: dict = {
+        "graph_n": graph.n,
+        "graph_m": graph.m,
+        "result_meta": None,
+        "arrays": {},
+        "path": "",
+    }
+    if spec.problem == "mis":
+        res = maximal_independent_set(
+            graph, params=params, force=spec.force, paper_rule=spec.paper_rule
+        )
+        out["verified"] = bool(verify_mis_nodes(graph, res.independent_set))
+        out["solution_size"] = int(res.independent_set.size)
+        out["path"] = spec.force or (
+            "lowdeg"
+            if uses_lowdeg_path(graph, params, paper_rule=spec.paper_rule)
+            else "general"
+        )
+        out["result_meta"], out["arrays"] = result_to_payload(res)
+        stats = res
+    elif spec.problem == "matching":
+        res = maximal_matching(
+            graph, params=params, force=spec.force, paper_rule=spec.paper_rule
+        )
+        out["verified"] = bool(verify_matching_pairs(graph, res.pairs))
+        out["solution_size"] = int(res.pairs.shape[0])
+        out["path"] = spec.force or (
+            "lowdeg"
+            if uses_lowdeg_path(
+                graph, params, paper_rule=spec.paper_rule, for_matching=True
+            )
+            else "general"
+        )
+        out["result_meta"], out["arrays"] = result_to_payload(res)
+        stats = res
+    elif spec.problem == "vc":
+        vc = deterministic_vertex_cover(graph, params=params)
+        out["verified"] = bool(is_vertex_cover(graph, vc.cover))
+        out["solution_size"] = int(vc.size)
+        out["arrays"] = {"solution": np.asarray(vc.cover, dtype=np.int64)}
+        stats = vc.matching
+    elif spec.problem == "coloring":
+        col = deterministic_coloring(graph, params=params)
+        proper = True
+        if graph.m:
+            proper = bool(
+                np.all(col.colors[graph.edges_u] != col.colors[graph.edges_v])
+            )
+        out["verified"] = proper and bool(np.all(col.colors >= 0))
+        out["solution_size"] = int(len(set(col.colors.tolist())))
+        out["arrays"] = {"solution": np.asarray(col.colors, dtype=np.int64)}
+        stats = col.mis
+    else:  # unreachable: JobSpec validates problem
+        raise ValueError(f"unknown problem {spec.problem!r}")
+    out["iterations"] = int(stats.iterations)
+    out["rounds"] = int(stats.rounds)
+    out["max_machine_words"] = int(stats.max_machine_words)
+    out["space_limit"] = int(stats.space_limit)
+    return out
+
+
+def run_job(payload: dict) -> dict:
+    """Pool entry point: execute one job described by ``payload``.
+
+    ``payload`` keys: ``spec`` (JobSpec dict), ``graph_npz`` (bytes or
+    None), ``timeout`` (seconds or None).  Always returns a dict with a
+    ``status`` of ``"ok"``, ``"error"`` or ``"timeout"`` — never raises.
+    """
+    t0 = time.perf_counter()
+    out: dict = {"status": "ok", "worker_pid": os.getpid(), "fingerprint": ""}
+    timeout = payload.get("timeout")
+    use_alarm = bool(timeout) and hasattr(signal, "SIGALRM")
+    old_handler = None
+    if use_alarm:
+        old_handler = signal.signal(signal.SIGALRM, _raise_timeout)
+        signal.setitimer(signal.ITIMER_REAL, float(timeout))
+    try:
+        spec = JobSpec.from_dict(payload["spec"])
+        npz = payload.get("graph_npz")
+        graph = graph_from_npz_bytes(npz) if npz is not None else spec.source.resolve()
+        out["fingerprint"] = payload.get("fingerprint") or graph_fingerprint(graph)
+        out.update(execute_spec(spec, graph))
+    except JobTimeout:
+        out["status"] = "timeout"
+        out["error_type"] = "JobTimeout"
+        out["error_message"] = f"job exceeded {timeout}s wall-clock budget"
+        out["error_traceback"] = ""
+    except Exception as exc:  # noqa: BLE001 - total by design
+        out["status"] = "error"
+        out["error_type"] = type(exc).__name__
+        out["error_message"] = str(exc)
+        out["error_traceback"] = traceback.format_exc()
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, old_handler)
+    out["wall_time"] = time.perf_counter() - t0
+    return out

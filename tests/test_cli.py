@@ -70,6 +70,72 @@ def test_eps_flag(capsys):
     assert rc == 0
 
 
+def test_batch_list_suites(capsys):
+    rc = main(["batch", "--list"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "scaling-sweep" in out
+    assert "throughput-micro" in out
+
+
+def test_batch_requires_suite(capsys):
+    rc = main(["batch"])
+    assert rc == 2
+
+
+def test_batch_runs_suite_and_caches(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    cache_dir = str(tmp_path / "cache")
+    json_path = str(tmp_path / "batch.json")
+    args = ["batch", "--suite", "throughput-micro", "--workers", "2",
+            "--cache-dir", cache_dir]
+    rc = main(args + ["--json", json_path])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "20/20 ok" in out
+    assert "cache hits: 0/20" in out
+
+    import json as _json
+
+    doc = _json.loads((tmp_path / "batch.json").read_text())
+    cold_wall = doc["stats"]["wall_time"]
+    assert doc["stats"]["ok"] == 20
+
+    # immediate re-run: served from cache, measurably faster
+    rc = main(args + ["--json", json_path])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cache hits: 20/20" in out
+    doc = _json.loads((tmp_path / "batch.json").read_text())
+    assert doc["stats"]["cache_hits"] == 20
+    assert doc["stats"]["wall_time"] < cold_wall
+
+    # cache stats / clear round trip
+    rc = main(["cache", "stats", "--cache-dir", cache_dir])
+    assert rc == 0
+    assert "entries: 20" in capsys.readouterr().out
+    rc = main(["cache", "clear", "--cache-dir", cache_dir])
+    assert rc == 0
+    assert "cleared 20" in capsys.readouterr().out
+
+
+def test_batch_report_and_jsonl_outputs(tmp_path, capsys):
+    report = tmp_path / "report.md"
+    jsonl = tmp_path / "results.jsonl"
+    rc = main(["batch", "--suite", "derived-problems", "--workers", "1",
+               "--no-cache", "--out", str(jsonl), "--report", str(report)])
+    assert rc == 0
+    text = report.read_text()
+    assert "per-problem aggregates" in text
+    assert "coloring" in text
+    from repro.runtime import JobResult
+
+    lines = jsonl.read_text().splitlines()
+    results = [JobResult.from_json(line) for line in lines]
+    assert len(results) == 6
+    assert all(r.ok for r in results)
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core import Params, degree_class_of, good_nodes_matching, good_nodes_mis
+from repro.core import degree_class_of, good_nodes_matching, good_nodes_mis
 from repro.graphs import Graph, gnp_random_graph
 
 

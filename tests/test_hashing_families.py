@@ -1,6 +1,5 @@
 """Tests for product and color hash families."""
 
-import itertools
 
 import numpy as np
 import pytest

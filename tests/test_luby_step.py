@@ -13,7 +13,7 @@ from repro.core import (
     sparsify_nodes,
 )
 from repro.core.luby_step import first_k_arcs
-from repro.graphs import complete_graph, gnp_random_graph
+from repro.graphs import gnp_random_graph
 from repro.mpc import MPCContext
 from repro.verify import is_independent_set, is_matching
 

@@ -28,6 +28,21 @@ def test_engine_load_balanced():
     assert max(eng.machine_load(i) for i in range(4)) <= 3
 
 
+def test_engine_reuse_resets_accounting():
+    """Reloading input starts a fresh computation: rounds and the space
+    high-water mark must not leak from the previous run."""
+    eng = MPCEngine(num_machines=2, space=16)
+    eng.load_balanced(range(16))
+    eng.round(lambda mid, items: (items, []))
+    assert eng.rounds_executed == 1
+    assert eng.max_load_seen == 8
+
+    eng.load_balanced(range(4))
+    assert eng.rounds_executed == 0
+    assert eng.max_load_seen == 2
+    assert eng.all_items() == list(range(4))
+
+
 def test_engine_rejects_overload_on_load():
     eng = MPCEngine(num_machines=2, space=3)
     with pytest.raises(SpaceExceededError):

@@ -1,6 +1,5 @@
 """Tests for the run-report renderer and its CLI hook."""
 
-import numpy as np
 
 from repro.__main__ import main
 from repro.analysis import run_report

@@ -1,0 +1,146 @@
+"""ResultCache: hit/miss/eviction semantics and cross-process determinism."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core import result_to_payload
+from repro.core.api import maximal_independent_set
+from repro.graphs import gnp_random_graph, graph_fingerprint
+from repro.runtime import GraphSource, JobSpec, ResultCache, Scheduler
+
+from test_runtime_spec import subprocess_env
+
+
+def put_dummy(cache: ResultCache, key: str, size: int = 4) -> None:
+    cache.put(
+        key,
+        job={"status": "ok", "solution_size": size},
+        arrays={"solution": np.arange(size, dtype=np.int64)},
+    )
+
+
+def test_miss_then_hit(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get("a" * 64) is None
+    assert cache.stats.misses == 1
+    put_dummy(cache, "a" * 64)
+    entry = cache.get("a" * 64)
+    assert entry is not None
+    assert cache.stats.hits == 1
+    assert entry.job["solution_size"] == 4
+    assert np.array_equal(entry.arrays()["solution"], np.arange(4))
+    assert entry.load_result() is None  # no records payload stored
+
+
+def test_lru_eviction(tmp_path):
+    cache = ResultCache(tmp_path, max_entries=2)
+    put_dummy(cache, "k1")
+    put_dummy(cache, "k2")
+    assert cache.get("k1") is not None  # refresh k1 => k2 is now LRU
+    put_dummy(cache, "k3")
+    assert cache.stats.evictions == 1
+    assert len(cache) == 2
+    assert cache.get("k2") is None  # evicted
+    assert cache.get("k1") is not None
+    assert cache.get("k3") is not None
+    # evicted object files are gone from disk
+    assert not (tmp_path / "objects" / "k2.json").exists()
+    assert not (tmp_path / "objects" / "k2.npz").exists()
+
+
+def test_persistence_across_instances(tmp_path):
+    first = ResultCache(tmp_path)
+    put_dummy(first, "k1")
+    first.get("k1")  # touch op in the log too
+    second = ResultCache(tmp_path)
+    assert len(second) == 1
+    entry = second.get("k1")
+    assert entry is not None
+    assert np.array_equal(entry.arrays()["solution"], np.arange(4))
+
+
+def test_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    put_dummy(cache, "k1")
+    put_dummy(cache, "k2")
+    assert cache.clear() == 2
+    assert len(cache) == 0
+    assert cache.get("k1") is None
+    assert len(ResultCache(tmp_path)) == 0
+
+
+def test_index_compaction_preserves_entries(tmp_path):
+    cache = ResultCache(tmp_path, max_entries=4)
+    for i in range(40):  # plenty of put+evict churn to trigger compaction
+        put_dummy(cache, f"key{i:03d}")
+    assert len(cache) == 4
+    again = ResultCache(tmp_path, max_entries=4)
+    assert sorted(again.keys()) == sorted(cache.keys())
+
+
+def test_index_stays_bounded_under_warm_only_reads(tmp_path):
+    """All-hit workloads (touch ops, no puts) must still compact the log."""
+    cache = ResultCache(tmp_path)
+    put_dummy(cache, "k1")
+    for _ in range(500):
+        assert cache.get("k1") is not None
+    line_count = sum(1 for _ in cache.index_path.open())
+    assert line_count <= 4 * 1 + 64 + 1  # compaction threshold for 1 entry
+    assert len(ResultCache(tmp_path)) == 1
+
+
+def test_full_result_payload_round_trip_through_cache(tmp_path):
+    g = gnp_random_graph(60, 0.1, seed=3)
+    res = maximal_independent_set(g)
+    meta, arrays = result_to_payload(res)
+    cache = ResultCache(tmp_path)
+    cache.put("k", job={"status": "ok"}, arrays=arrays, result_meta=meta)
+    loaded = cache.get("k").load_result()
+    assert np.array_equal(loaded.independent_set, res.independent_set)
+    assert loaded.records == res.records
+    assert loaded.rounds == res.rounds
+
+
+@pytest.mark.parametrize("problem", ["mis", "matching"])
+def test_cached_result_identical_across_processes(tmp_path, problem):
+    """Store via the scheduler here; a fresh process must read back the
+    byte-identical solution for the same spec."""
+    spec = JobSpec(
+        problem, GraphSource.generator("gnp_random_graph", n=80, p=0.08, seed=5)
+    )
+    cache = ResultCache(tmp_path / "cache")
+    batch = Scheduler(workers=1, cache=cache).run([spec])
+    assert batch.all_ok and batch.stats.cache_hits == 0
+    key = spec.cache_key(graph_fingerprint(spec.source.resolve()))
+    local = cache.get(key).arrays()["solution"]
+
+    script = (
+        "import sys, hashlib\n"
+        "from repro.runtime import JobSpec, ResultCache\n"
+        "from repro.graphs import graph_fingerprint\n"
+        "cache_dir, spec_json = sys.argv[1], sys.stdin.read()\n"
+        "spec = JobSpec.from_json(spec_json)\n"
+        "cache = ResultCache(cache_dir)\n"
+        "key = spec.cache_key(graph_fingerprint(spec.source.resolve()))\n"
+        "arr = cache.get(key).arrays()['solution']\n"
+        "print(key)\n"
+        "print(hashlib.sha256(arr.tobytes()).hexdigest())\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script, str(tmp_path / "cache")],
+        input=spec.to_json(),
+        capture_output=True,
+        text=True,
+        check=True,
+        env=subprocess_env(),
+    )
+    child_key, child_digest = proc.stdout.split()
+    assert child_key == key
+    import hashlib
+
+    assert child_digest == hashlib.sha256(local.tobytes()).hexdigest()

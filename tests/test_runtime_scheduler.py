@@ -1,0 +1,157 @@
+"""Scheduler: parallel fan-out, structured failures, retries, cache reruns."""
+
+from __future__ import annotations
+
+import signal
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    GraphSource,
+    JobSpec,
+    ResultCache,
+    Scheduler,
+    build_suite,
+    get_suite,
+    list_suites,
+)
+from repro.verify import verify_mis_nodes
+
+
+def gnp_spec(problem="mis", n=60, seed=3, **kw) -> JobSpec:
+    return JobSpec(
+        problem,
+        GraphSource.generator("gnp_random_graph", n=n, p=0.1, seed=seed),
+        **kw,
+    )
+
+
+def test_single_job_runs_and_verifies():
+    batch = Scheduler(workers=1).run([gnp_spec()])
+    (res,) = batch.results
+    assert res.ok and res.verified
+    assert res.graph_n == 60
+    assert res.worker_pid > 0
+    assert res.rounds > 0
+    assert res.path in ("lowdeg", "general")
+
+
+def test_worker_exception_is_structured_failure_not_pool_crash():
+    """A deliberately failing job (invalid eps => Params raises in the
+    worker) must come back as a structured JobResult while healthy jobs in
+    the same batch — and later batches on the same scheduler — succeed."""
+    bad = gnp_spec(eps=-1.0, tag="bad")
+    good1, good2 = gnp_spec(seed=1, tag="g1"), gnp_spec(seed=2, tag="g2")
+    sched = Scheduler(workers=2)
+    batch = sched.run([good1, bad, good2])
+    by_tag = {r.spec.tag: r for r in batch.results}
+    assert [r.spec.tag for r in batch.results] == ["g1", "bad", "g2"]  # order kept
+    assert by_tag["g1"].ok and by_tag["g2"].ok
+    failed = by_tag["bad"]
+    assert failed.status == "error"
+    assert failed.error_type == "ValueError"
+    assert "eps" in failed.error_message
+    assert "Traceback" in failed.error_traceback
+    assert batch.stats.errors == 1 and batch.stats.ok == 2
+    assert not batch.all_ok and batch.failures() == [failed]
+    # the pool survived: run again
+    assert sched.run([gnp_spec(seed=9)]).all_ok
+
+
+def test_unresolvable_source_is_structured_failure(tmp_path):
+    spec = JobSpec("mis", GraphSource.from_file(str(tmp_path / "missing.edges")))
+    batch = Scheduler(workers=1).run([spec])
+    (res,) = batch.results
+    assert res.status == "error"
+    assert res.error_type == "FileNotFoundError"
+    assert "input resolution failed" in res.error_message
+
+
+def test_retries_are_counted():
+    bad = gnp_spec(eps=-1.0)
+    batch = Scheduler(workers=1, retries=2).run([bad])
+    (res,) = batch.results
+    assert res.status == "error"
+    assert res.attempts == 3  # 1 initial + 2 retries
+    assert batch.stats.retries_used == 2
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGALRM"), reason="per-job timeout needs SIGALRM"
+)
+def test_timeout_is_structured():
+    slow = gnp_spec(n=2500, seed=0)  # well over 10ms of solving
+    batch = Scheduler(workers=1, timeout=0.01).run([slow])
+    (res,) = batch.results
+    assert res.status == "timeout"
+    assert res.error_type == "JobTimeout"
+    assert batch.stats.timeouts == 1
+
+
+def test_parallel_batch_matches_inline_solutions(tmp_path):
+    """Worker-process results equal an in-process solve (determinism)."""
+    from repro.core.api import maximal_independent_set
+
+    specs = [gnp_spec(seed=s, tag=f"s{s}") for s in range(4)]
+    cache = ResultCache(tmp_path)
+    batch = Scheduler(workers=2, cache=cache).run(specs)
+    assert batch.all_ok
+    from repro.graphs import graph_fingerprint
+
+    for spec, res in zip(specs, batch.results):
+        g = spec.source.resolve()
+        inline = maximal_independent_set(g, eps=spec.eps)
+        key = spec.cache_key(graph_fingerprint(g))
+        stored = cache.get(key).arrays()["solution"]
+        assert np.array_equal(stored, inline.independent_set)
+        assert verify_mis_nodes(g, stored)
+        assert res.solution_size == inline.independent_set.size
+
+
+def test_cache_rerun_hits_without_recompute(tmp_path):
+    specs = [gnp_spec(seed=s) for s in range(3)]
+    cache = ResultCache(tmp_path)
+    sched = Scheduler(workers=2, cache=cache)
+    cold = sched.run(specs)
+    warm = sched.run(specs)
+    assert cold.stats.cache_hits == 0
+    assert warm.stats.cache_hits == 3 and warm.stats.cache_hit_rate == 1.0
+    assert all(r.cache_hit for r in warm.results)
+    for c, w in zip(cold.results, warm.results):
+        assert (c.solution_size, c.rounds, c.iterations) == (
+            w.solution_size,
+            w.rounds,
+            w.iterations,
+        )
+    # cached results skipped the pool entirely
+    assert all(r.attempts == 0 for r in warm.results)
+
+
+def test_shared_source_resolved_once_still_all_jobs_run():
+    src = GraphSource.generator("gnp_random_graph", n=50, p=0.1, seed=0)
+    specs = [JobSpec("mis", src), JobSpec("matching", src), JobSpec("vc", src)]
+    batch = Scheduler(workers=2).run(specs)
+    assert batch.all_ok
+    fps = {r.fingerprint for r in batch.results}
+    assert len(fps) == 1  # same content fingerprint for all three
+
+
+def test_suite_registry_and_sizes():
+    names = [s.name for s in list_suites()]
+    for expected in ("scaling-sweep", "degree-regime", "derived-problems",
+                     "throughput-micro"):
+        assert expected in names
+    assert len(build_suite("scaling-sweep")) >= 20
+    assert len(build_suite("throughput-micro")) == 20
+    assert get_suite("degree-regime").description
+    with pytest.raises(KeyError, match="unknown suite"):
+        build_suite("nope")
+
+
+def test_derived_problems_run_through_scheduler():
+    src = GraphSource.generator("random_regular_graph", n=60, d=4, seed=2)
+    specs = [JobSpec("vc", src), JobSpec("coloring", src)]
+    batch = Scheduler(workers=1).run(specs)
+    assert batch.all_ok
+    assert all(r.verified for r in batch.results)

@@ -1,0 +1,200 @@
+"""JobSpec / JobResult serialization, digests, and fingerprint determinism."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+
+from repro.core import result_from_payload, result_to_payload
+from repro.core.api import maximal_independent_set, maximal_matching
+from repro.graphs import (
+    gnp_random_graph,
+    graph_fingerprint,
+    graph_from_npz_bytes,
+    graph_to_npz_bytes,
+    write_edge_list,
+)
+from repro.runtime import GraphSource, JobResult, JobSpec
+
+
+def subprocess_env() -> dict:
+    """Env for child interpreters: make the in-test repro package importable."""
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def make_spec(**kw) -> JobSpec:
+    base = dict(
+        problem="mis",
+        source=GraphSource.generator("gnp_random_graph", n=60, p=0.1, seed=3),
+        eps=0.5,
+        tag="t",
+    )
+    base.update(kw)
+    return JobSpec(**base)
+
+
+# ---------------------------------------------------------------------- #
+# JobSpec
+# ---------------------------------------------------------------------- #
+
+
+def test_jobspec_json_round_trip():
+    spec = make_spec(
+        force="lowdeg",
+        paper_rule=True,
+        overrides={"c": 2, "strategy": "best_of"},
+    )
+    again = JobSpec.from_json(spec.to_json())
+    assert again == spec
+    assert hash(again) == hash(spec)
+    assert again.digest() == spec.digest()
+
+
+def test_jobspec_file_source_round_trip(tmp_path):
+    path = tmp_path / "g.edges"
+    write_edge_list(gnp_random_graph(30, 0.2, seed=1), path)
+    spec = JobSpec("matching", GraphSource.from_file(str(path)))
+    again = JobSpec.from_json(spec.to_json())
+    assert again == spec
+    assert again.source.resolve() == spec.source.resolve()
+
+
+def test_jobspec_rejects_unknown_problem_and_generator():
+    with pytest.raises(ValueError, match="unknown problem"):
+        make_spec(problem="tsp")
+    with pytest.raises(ValueError, match="unknown generator"):
+        GraphSource.generator("no_such_generator", n=3)
+
+
+def test_solve_digest_ignores_source_but_not_params():
+    a = make_spec()
+    b = make_spec(source=GraphSource.generator("path_graph", n=9))
+    assert a.solve_digest() == b.solve_digest()  # source excluded
+    assert a.digest() != b.digest()  # full digest differs
+    assert a.solve_digest() != make_spec(eps=0.6).solve_digest()
+    assert a.solve_digest() != make_spec(force="general").solve_digest()
+    assert a.solve_digest() != make_spec(overrides={"c": 2}).solve_digest()
+
+
+def test_cache_key_is_content_addressed(tmp_path):
+    """Same graph content via generator vs file => same cache key."""
+    g = gnp_random_graph(40, 0.15, seed=7)
+    path = tmp_path / "g.edges"
+    write_edge_list(g, path)
+    gen_spec = make_spec(
+        source=GraphSource.generator("gnp_random_graph", n=40, p=0.15, seed=7)
+    )
+    file_spec = make_spec(source=GraphSource.from_file(str(path)))
+    fp_gen = graph_fingerprint(gen_spec.source.resolve())
+    fp_file = graph_fingerprint(file_spec.source.resolve())
+    assert fp_gen == fp_file
+    assert gen_spec.cache_key(fp_gen) == file_spec.cache_key(fp_file)
+
+
+# ---------------------------------------------------------------------- #
+# JobResult
+# ---------------------------------------------------------------------- #
+
+
+def test_jobresult_json_round_trip():
+    res = JobResult(
+        spec=make_spec(),
+        status="error",
+        attempts=2,
+        wall_time=0.123,
+        worker_pid=4242,
+        fingerprint="ab" * 32,
+        graph_n=60,
+        graph_m=170,
+        error_type="ValueError",
+        error_message="boom",
+        error_traceback="Traceback ...",
+    )
+    again = JobResult.from_json(res.to_json())
+    assert again == res
+    assert not again.ok
+    # the JSON itself is plain data
+    doc = json.loads(res.to_json())
+    assert doc["spec"]["problem"] == "mis"
+
+
+# ---------------------------------------------------------------------- #
+# Graph fingerprint + npz packing
+# ---------------------------------------------------------------------- #
+
+
+def test_fingerprint_distinguishes_graphs():
+    a = gnp_random_graph(60, 0.1, seed=3)
+    b = gnp_random_graph(60, 0.1, seed=4)
+    assert graph_fingerprint(a) != graph_fingerprint(b)
+    assert graph_fingerprint(a) == graph_fingerprint(gnp_random_graph(60, 0.1, seed=3))
+
+
+def test_npz_round_trip_preserves_graph_and_fingerprint():
+    g = gnp_random_graph(80, 0.08, seed=9)
+    again = graph_from_npz_bytes(graph_to_npz_bytes(g))
+    assert again == g
+    assert graph_fingerprint(again) == graph_fingerprint(g)
+
+
+def test_fingerprint_byte_identical_across_processes():
+    """The same spec's graph must fingerprint identically in a fresh process."""
+    spec = make_spec()
+    local_fp = graph_fingerprint(spec.source.resolve())
+    script = (
+        "import sys, json\n"
+        "from repro.runtime import JobSpec\n"
+        "from repro.graphs import graph_fingerprint\n"
+        "spec = JobSpec.from_json(sys.stdin.read())\n"
+        "print(graph_fingerprint(spec.source.resolve()))\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        input=spec.to_json(),
+        capture_output=True,
+        text=True,
+        check=True,
+        env=subprocess_env(),
+    )
+    assert proc.stdout.strip() == local_fp
+
+
+# ---------------------------------------------------------------------- #
+# Result payload round trip (records serialization)
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("kind", ["mis", "matching"])
+def test_result_payload_json_round_trip(kind):
+    g = gnp_random_graph(70, 0.1, seed=2)
+    if kind == "mis":
+        res = maximal_independent_set(g)
+    else:
+        res = maximal_matching(g)
+    meta, arrays = result_to_payload(res)
+    # meta must survive a real JSON round trip
+    meta = json.loads(json.dumps(meta))
+    again = result_from_payload(meta, arrays)
+    assert type(again) is type(res)
+    assert again.iterations == res.iterations
+    assert again.rounds == res.rounds
+    assert again.rounds_by_category == res.rounds_by_category
+    assert again.max_machine_words == res.max_machine_words
+    assert again.space_limit == res.space_limit
+    assert again.records == res.records
+    assert again.fidelity_events == res.fidelity_events
+    if kind == "mis":
+        assert np.array_equal(again.independent_set, res.independent_set)
+    else:
+        assert np.array_equal(again.pairs, res.pairs)

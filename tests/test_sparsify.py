@@ -1,7 +1,6 @@
 """Tests for the deterministic sparsification stages (Sections 3.2, 4.2)."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     Params,
