@@ -1,0 +1,316 @@
+"""Vectorized CSR kernels vs legacy paths: timing, parity, regression gate.
+
+For each kernel the bench runs the ``legacy`` implementation (per-item
+Python loops / per-iteration graph rebuilds) and the default ``csr``
+implementation on the same instance, asserts the outputs are *identical*
+(the backends are bit-equivalent by design) and reports the speedup.
+
+Modes
+-----
+``--smoke``            small instances (CI-sized, a few seconds end to end)
+default (full)         ``n = 10_000`` instances; prints the acceptance line
+                       for the >= 5x vectorized-Luby-step criterion
+``--check PATH``       after running, compare speedups against a baseline
+                       JSON; exit 1 on a > 2x regression of any kernel or on
+                       any parity failure (the CI bench-smoke gate)
+``--write-baseline [PATH]``
+                       refresh the checked-in baseline from this run
+
+Artifacts: ``benchmarks/results/BENCH_kernels.json`` via the standard
+emitter; the checked-in baseline lives at
+``benchmarks/baselines/BENCH_kernels_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import emit_json  # noqa: E402
+
+from repro.baselines.greedy import greedy_mis  # noqa: E402
+from repro.baselines.israeli_itai import israeli_itai_matching  # noqa: E402
+from repro.baselines.luby import (  # noqa: E402
+    luby_matching_randomized,
+    luby_mis_randomized,
+)
+from repro.core.good_nodes import good_nodes_mis  # noqa: E402
+from repro.core.params import Params  # noqa: E402
+from repro.graphs import gnp_random_graph  # noqa: E402
+from repro.graphs.coloring import _linial_step  # noqa: E402
+from repro.graphs.power import square_graph  # noqa: E402
+from repro.hashing.kwise import make_family  # noqa: E402
+from repro.mpc.distributed_luby import _group_minima, _keyed_z  # noqa: E402
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "BENCH_kernels_baseline.json"
+
+#: Fail --check when a kernel's speedup drops below baseline / this factor.
+REGRESSION_FACTOR = 2.0
+
+#: Kernels whose smoke-size runtimes are large enough for a stable speedup
+#: ratio on shared CI runners.  The sub-millisecond solver cases are still
+#: run and parity-checked, but their ratios are too noisy to gate on.
+GATED_KERNELS = ("luby_step_minz", "linial_step")
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _case(name, legacy_fn, csr_fn, same_fn, repeats, meta):
+    t_legacy, a = _best_of(legacy_fn, repeats)
+    t_csr, b = _best_of(csr_fn, repeats)
+    identical = bool(same_fn(a, b))
+    return name, {
+        "legacy_s": t_legacy,
+        "csr_s": t_csr,
+        "speedup": t_legacy / t_csr if t_csr > 0 else float("inf"),
+        "identical": identical,
+        **meta,
+    }
+
+
+def _minz_case(g, repeats):
+    """The distributed-Luby selection kernel: per-source min z over arcs.
+
+    This is the per-arc hot loop of ``mpc/distributed_luby.py`` -- the
+    legacy path evaluates the hash one arc at a time; the vectorized path
+    batches the evaluation and reduces per source segment.
+    """
+    n = max(g.n, 1)
+    arcs = np.concatenate([g.edges_u * n + g.edges_v, g.edges_v * n + g.edges_u])
+    arcs_list = [int(a) for a in arcs.tolist()]
+    family = make_family(universe=n, k=2)
+    seed = 7919 % family.size
+
+    def legacy():
+        mins: dict[int, int] = {}
+        for arc in arcs_list:
+            src, dst = divmod(arc, n)
+            zd = int(family.evaluate(seed, np.array([dst]))[0]) * (n + 1) + dst
+            if src not in mins or zd < mins[src]:
+                mins[src] = zd
+        return sorted(mins.items())
+
+    def vectorized():
+        src, dst = np.divmod(arcs, n)
+        srcs, zmins = _group_minima(src, _keyed_z(family, seed, dst, n))
+        return list(zip(srcs.tolist(), (int(z) for z in zmins.tolist())))
+
+    return _case(
+        "luby_step_minz",
+        legacy,
+        vectorized,
+        lambda a, b: a == b,
+        repeats,
+        {"n": g.n, "m": g.m},
+    )
+
+
+def _linial_case(g, repeats):
+    g2 = square_graph(g)
+    colors = np.arange(g2.n, dtype=np.int64)
+    palette = max(g2.n, 1)
+    return _case(
+        "linial_step",
+        lambda: _linial_step(g2, colors, palette, backend="legacy"),
+        lambda: _linial_step(g2, colors, palette, backend="csr"),
+        lambda a, b: a[1] == b[1] and np.array_equal(a[0], b[0]),
+        repeats,
+        {"n": g2.n, "m": g2.m},
+    )
+
+
+def _solver_case(name, g, solve, same, repeats):
+    return _case(
+        name,
+        lambda: solve(backend="legacy"),
+        lambda: solve(backend="csr"),
+        same,
+        repeats,
+        {"n": g.n, "m": g.m},
+    )
+
+
+def run(mode: str, seed: int) -> dict:
+    if mode == "smoke":
+        n, avg_deg, repeats = 400, 10, 3
+    else:
+        n, avg_deg, repeats = 10_000, 8, 3
+    g = gnp_random_graph(n, avg_deg / n, seed=seed)
+
+    def result_same(a, b):
+        return (
+            np.array_equal(a.solution, b.solution)
+            and a.edge_trace == b.edge_trace
+            and a.iterations == b.iterations
+        )
+
+    params = Params()
+    cases = dict(
+        [
+            _minz_case(g, repeats),
+            _linial_case(g, repeats),
+            _solver_case(
+                "luby_mis_solve",
+                g,
+                lambda backend: luby_mis_randomized(g, seed, backend=backend),
+                result_same,
+                repeats,
+            ),
+            _solver_case(
+                "luby_matching_solve",
+                g,
+                lambda backend: luby_matching_randomized(g, seed, backend=backend),
+                result_same,
+                repeats,
+            ),
+            _solver_case(
+                "israeli_itai_solve",
+                g,
+                lambda backend: israeli_itai_matching(g, seed, backend=backend),
+                result_same,
+                repeats,
+            ),
+            _solver_case(
+                "greedy_mis_solve",
+                g,
+                lambda backend: greedy_mis(g, backend=backend),
+                lambda a, b: np.array_equal(a, b),
+                repeats,
+            ),
+            _solver_case(
+                "good_nodes_mis",
+                g,
+                lambda backend: good_nodes_mis(g, params, backend=backend),
+                lambda a, b: a.i_star == b.i_star
+                and np.array_equal(a.b_mask, b.b_mask)
+                and np.array_equal(a.a_mask, b.a_mask),
+                repeats,
+            ),
+        ]
+    )
+    return {"mode": mode, "graph": {"n": g.n, "m": g.m}, "cases": cases}
+
+
+def check_regression(payload: dict, baseline_path: Path) -> list[str]:
+    """Messages describing gate failures (empty = green).
+
+    Parity is checked for every kernel; speedup ratios are gated only for
+    ``GATED_KERNELS`` (see the constant's note on timing noise).
+    """
+    problems = []
+    for name, case in payload["cases"].items():
+        if not case["identical"]:
+            problems.append(f"{name}: csr and legacy outputs DIVERGED")
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except OSError as exc:
+        problems.append(f"baseline {baseline_path} unreadable: {exc}")
+        return problems
+    except json.JSONDecodeError as exc:
+        problems.append(f"baseline {baseline_path} is not valid JSON: {exc}")
+        return problems
+    base_mode = baseline.get("mode")
+    if base_mode and base_mode != payload["mode"]:
+        problems.append(
+            f"baseline was recorded in {base_mode!r} mode but this run is "
+            f"{payload['mode']!r}; refresh with --write-baseline"
+        )
+        return problems
+    for name, base_case in baseline["cases"].items():
+        if name not in GATED_KERNELS:
+            continue
+        cur = payload["cases"].get(name)
+        if cur is None:
+            problems.append(f"{name}: kernel present in baseline but not run")
+            continue
+        floor = base_case["speedup"] / REGRESSION_FACTOR
+        if cur["speedup"] < floor:
+            problems.append(
+                f"{name}: speedup {cur['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base_case['speedup']:.2f}x / "
+                f"{REGRESSION_FACTOR:g})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true", help="small CI-sized run")
+    ap.add_argument("--seed", type=int, default=3)
+    ap.add_argument(
+        "--check",
+        metavar="PATH",
+        help="regression-gate against a baseline JSON",
+    )
+    ap.add_argument(
+        "--write-baseline",
+        nargs="?",
+        const=str(BASELINE_PATH),
+        metavar="PATH",
+        help="write this run's speedups as the new baseline",
+    )
+    args = ap.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    payload = run(mode, args.seed)
+
+    width = max(len(k) for k in payload["cases"])
+    print(f"kernel benchmark [{mode}] on {payload['graph']}")
+    for name, case in payload["cases"].items():
+        print(
+            f"  {name:<{width}}  legacy={case['legacy_s'] * 1e3:9.2f}ms  "
+            f"csr={case['csr_s'] * 1e3:9.2f}ms  speedup={case['speedup']:7.2f}x  "
+            f"identical={case['identical']}"
+        )
+    if mode == "full":
+        step = payload["cases"]["luby_step_minz"]
+        ok = step["speedup"] >= 5.0
+        payload["acceptance_luby_step_5x"] = bool(ok)
+        print(
+            f"acceptance: vectorized Luby step at n=10k is "
+            f"{step['speedup']:.1f}x (>= 5x required): {'PASS' if ok else 'FAIL'}"
+        )
+    emit_json("kernels", payload)
+
+    if args.write_baseline:
+        out = Path(args.write_baseline)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        slim = {
+            "mode": mode,
+            "cases": {
+                k: {"speedup": round(v["speedup"], 3)}
+                for k, v in payload["cases"].items()
+                if k in GATED_KERNELS
+            },
+        }
+        out.write_text(json.dumps(slim, indent=2, sort_keys=True) + "\n")
+        print(f"[baseline] wrote {out}")
+
+    if args.check:
+        problems = check_regression(payload, Path(args.check))
+        if problems:
+            for p in problems:
+                print(f"REGRESSION: {p}", file=sys.stderr)
+            return 1
+        print("regression gate: green")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

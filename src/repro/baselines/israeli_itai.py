@@ -13,6 +13,13 @@ paper's introduction cites as the O(log n) randomized yardstick:
 
 Matched nodes are removed; in expectation a constant fraction of edges
 disappears per round.
+
+The CSR backend (default) replaces the per-iteration rebuild with an
+alive-edge mask plus the same amortized compaction the Luby solvers use,
+and resolves each node's random proposal with the
+:func:`~repro.graphs.kernels.alive_arc_select` kernel, whose arc order
+matches the rebuilt graph's CSR order -- so both backends consume the
+identical RNG stream and return the identical matching.
 """
 
 from __future__ import annotations
@@ -20,14 +27,86 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.graph import Graph
-from .luby import BaselineResult
+from ..graphs.kernels import alive_arc_select, alive_edge_degrees, resolve_backend
+from .luby import BaselineResult, _maybe_compact_flagged
 
 __all__ = ["israeli_itai_matching"]
 
 
 def israeli_itai_matching(
-    g: Graph, seed: int, *, max_iterations: int = 10_000
+    g: Graph,
+    seed: int,
+    *,
+    max_iterations: int = 10_000,
+    backend: str | None = None,
 ) -> BaselineResult:
+    if resolve_backend(backend) == "legacy":
+        return _israeli_itai_legacy(g, seed, max_iterations)
+    rng = np.random.default_rng(seed)
+    cur = g
+    alive_e = np.ones(cur.m, dtype=bool)
+    alive_ids = np.nonzero(alive_e)[0]
+    pairs: list[np.ndarray] = []
+    trace: list[int] = []
+    it = 0
+    while alive_ids.size > 0:
+        it += 1
+        if it > max_iterations:
+            raise RuntimeError("Israeli-Itai failed to converge")
+        compacted, (cur, alive_e) = _maybe_compact_flagged(
+            cur, alive_e, alive_ids.size
+        )
+        if compacted:
+            alive_ids = np.nonzero(alive_e)[0]
+        eu, ev = cur.edges_u, cur.edges_v
+        trace.append(alive_ids.size)
+
+        # Step 1: each live node proposes a uniform surviving incident edge.
+        deg = alive_edge_degrees(cur, alive_e)
+        live = np.nonzero(deg > 0)[0]
+        proposal = np.full(g.n, -1, dtype=np.int64)
+        offsets = (rng.random(live.size) * deg[live]).astype(np.int64)
+        proposal[live] = alive_arc_select(cur, alive_e, live, offsets)
+
+        # Step 2: edges proposed by both endpoints are strong candidates;
+        # otherwise a node accepts one random incoming proposal.
+        au, av = eu[alive_ids], ev[alive_ids]
+        both = (proposal[au] == alive_ids) & (proposal[av] == alive_ids)
+        one_sided = (
+            (proposal[au] == alive_ids) | (proposal[av] == alive_ids)
+        ) & ~both
+        cand = np.nonzero(both | one_sided)[0]
+        if cand.size == 0:
+            continue
+        # Conflict resolution: random priority per candidate edge, each node
+        # keeps its best candidate, edge wins if best at both ends.
+        prio = rng.permutation(cand.size)
+        best = np.full(g.n, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(best, au[cand], prio)
+        np.minimum.at(best, av[cand], prio)
+        win = (best[au[cand]] == prio) & (best[av[cand]] == prio)
+        eids = alive_ids[cand[win]]
+        if eids.size == 0:
+            continue
+        pairs.append(np.stack([eu[eids], ev[eids]], axis=1))
+        kill = np.zeros(g.n, dtype=bool)
+        kill[eu[eids]] = True
+        kill[ev[eids]] = True
+        alive_e &= ~(kill[eu] | kill[ev])
+        alive_ids = np.nonzero(alive_e)[0]
+    sol = (
+        np.concatenate(pairs, axis=0) if pairs else np.empty((0, 2), dtype=np.int64)
+    )
+    return BaselineResult(
+        solution=sol,
+        iterations=it,
+        rounds=2 * it,  # two communication steps per iteration
+        edge_trace=tuple(trace),
+        algorithm="israeli_itai",
+    )
+
+
+def _israeli_itai_legacy(g: Graph, seed: int, max_iterations: int) -> BaselineResult:
     rng = np.random.default_rng(seed)
     pairs: list[np.ndarray] = []
     cur = g
@@ -79,7 +158,7 @@ def israeli_itai_matching(
     return BaselineResult(
         solution=sol,
         iterations=it,
-        rounds=2 * it,  # two communication steps per iteration
+        rounds=2 * it,
         edge_trace=tuple(trace),
         algorithm="israeli_itai",
     )

@@ -18,6 +18,15 @@ Implementation notes: everything is whole-array numpy over the CSR edge
 arrays; isolated vertices never enter any class.  The MPC cost is a constant
 number of Lemma-4 primitives (degree counting, neighbourhood aggregation,
 class-weight aggregation) charged by the caller.
+
+The integer accounting (low-degree neighbour counts) runs on ``bincount``
+kernels -- exact and an order of magnitude faster than the ``np.add.at``
+scatters they replaced.  The MIS side's class-weighted neighbourhood sums
+(``sum of 1/d(u)`` per class) go through the graph's cached scipy CSR
+adjacency as one sparse mat-mat product under the default ``csr`` backend;
+``backend="legacy"`` keeps the original scatter loop (float accumulation
+order differs between the two at the 1e-16 level, far inside the 1e-12
+threshold guards).
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..graphs.kernels import HAS_SCIPY, resolve_backend
 from .params import Params
 
 __all__ = [
@@ -78,20 +88,24 @@ def good_nodes_matching(g: Graph, params: Params) -> GoodNodesMatching:
     """Compute ``i*``, ``B`` and ``E_0`` for the matching algorithm."""
     deg = g.degrees()
     n, delta = g.n, params.delta_value
-    # |{u ~ v : d(u) <= d(v)}| per v, vectorised over edges.
+    # |{u ~ v : d(u) <= d(v)}| per v, vectorised over edges (exact int64
+    # bincounts; no scatter `.at` calls on the hot path).
     low_count = np.zeros(n, dtype=np.int64)
     if g.m:
         du = deg[g.edges_u]
         dv = deg[g.edges_v]
-        np.add.at(low_count, g.edges_u, (dv <= du).astype(np.int64))
-        np.add.at(low_count, g.edges_v, (du <= dv).astype(np.int64))
+        low_count += np.bincount(g.edges_u[dv <= du], minlength=n)
+        low_count += np.bincount(g.edges_v[du <= dv], minlength=n)
     x_mask = (3 * low_count >= deg) & (deg > 0)
 
     class_of = degree_class_of(deg, n, delta)
     num_classes = max(1, int(np.ceil(1.0 / delta - 1e-9)))
-    weights = np.zeros(num_classes + 1, dtype=np.float64)
     in_b_any = x_mask  # B_i = C_i ∩ X partitions X by class
-    np.add.at(weights, class_of[in_b_any], deg[in_b_any].astype(np.float64))
+    weights = np.bincount(
+        class_of[in_b_any],
+        weights=deg[in_b_any].astype(np.float64),
+        minlength=num_classes + 1,
+    )
     i_star = int(np.argmax(weights[1:])) + 1 if weights[1:].size else 1
     b_mask = x_mask & (class_of == i_star)
 
@@ -135,7 +149,9 @@ class GoodNodesMIS:
         return int(self.b_mask.sum())
 
 
-def good_nodes_mis(g: Graph, params: Params) -> GoodNodesMIS:
+def good_nodes_mis(
+    g: Graph, params: Params, *, backend: str | None = None
+) -> GoodNodesMIS:
     """Compute ``i*``, ``B``, ``Q_0`` for the MIS algorithm (Section 4.1)."""
     deg = g.degrees()
     n, delta = g.n, params.delta_value
@@ -147,11 +163,19 @@ def good_nodes_mis(g: Graph, params: Params) -> GoodNodesMIS:
     inv_deg[nz] = 1.0 / deg[nz]
 
     # acc[v, i] = sum of 1/d(u) over neighbours u of v in class i.
-    acc = np.zeros((n, num_classes + 1), dtype=np.float64)
-    if g.m:
-        eu, ev = g.edges_u, g.edges_v
-        np.add.at(acc, (eu, class_of[ev]), inv_deg[ev])
-        np.add.at(acc, (ev, class_of[eu]), inv_deg[eu])
+    if g.m and HAS_SCIPY and resolve_backend(backend) == "csr":
+        # One sparse mat-mat product against the class-indicator weights:
+        # W[u, i] = 1/d(u) iff class_of[u] == i, so (A @ W)[v, i] is exactly
+        # the class-i neighbourhood sum.
+        w = np.zeros((n, num_classes + 1), dtype=np.float64)
+        w[np.arange(n), class_of] = inv_deg
+        acc = np.asarray(g.adjacency_csr() @ w)
+    else:
+        acc = np.zeros((n, num_classes + 1), dtype=np.float64)
+        if g.m:
+            eu, ev = g.edges_u, g.edges_v
+            np.add.at(acc, (eu, class_of[ev]), inv_deg[ev])
+            np.add.at(acc, (ev, class_of[eu]), inv_deg[eu])
     total = acc.sum(axis=1)
     a_mask = (total >= 1.0 / 3.0 - 1e-12) & (deg > 0)
 

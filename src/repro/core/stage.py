@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..derand.estimators import certified_slacks
 from ..derand.strategies import SeedSelection, select_seed
 from ..hashing.kwise import KWiseHashFamily
 from ..mpc.partition import MachineGrouping
@@ -139,6 +140,11 @@ class StageSearchOutcome:
     # expectation mu_x and slack lambda_x under the chosen kappa.
     mus: tuple[np.ndarray, ...]
     lambdas: tuple[np.ndarray, ...]
+    # Per group: the slack the pairwise Chebyshev bound *certifies* for an
+    # E[#bad] < 1 budget at these finite loads (vectorised per machine; see
+    # repro.derand.estimators).  Reporting/diagnostics only -- the search
+    # window itself uses the paper's nominal-kappa schedule above.
+    certified_lambdas: tuple[np.ndarray, ...] = ()
 
 
 def run_stage_seed_search(
@@ -169,6 +175,9 @@ def run_stage_seed_search(
         np.sqrt(g.grouping.loads.astype(np.float64)) + 1.0 for g in groups
     ]
     mus = [p_real * t for t in totals]
+    certified = tuple(
+        certified_slacks(g.grouping.loads, p_real) for g in groups
+    )
 
     def goodness_count(seed: int, kappa: float) -> int:
         good = 0
@@ -213,6 +222,7 @@ def run_stage_seed_search(
                 selection=sel,
                 mus=tuple(mus),
                 lambdas=tuple(lam),
+                certified_lambdas=certified,
             )
         escalations += 1
         if escalations > params.max_slack_escalations:
@@ -231,6 +241,7 @@ def run_stage_seed_search(
                 selection=best,
                 mus=tuple(mus),
                 lambdas=tuple(lam),
+                certified_lambdas=certified,
             )
         fidelity.append(
             f"stage slack escalated to kappa={kappa * params.slack_escalation:.3f}"

@@ -2,9 +2,11 @@
 
 from .estimators import (
     bellare_rompel_bound,
+    certified_slacks,
     chebyshev_bound,
     paper_nominal_slack,
     slack_for_failure,
+    slack_for_failure_array,
 )
 from .strategies import SeedSelection, Strategy, select_seed
 
@@ -12,8 +14,10 @@ __all__ = [
     "SeedSelection",
     "Strategy",
     "bellare_rompel_bound",
+    "certified_slacks",
     "chebyshev_bound",
     "paper_nominal_slack",
     "select_seed",
     "slack_for_failure",
+    "slack_for_failure_array",
 ]

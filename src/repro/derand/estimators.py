@@ -17,7 +17,14 @@ Functions
 ``bellare_rompel_bound``   -- the tail bound of Lemma 9.
 ``chebyshev_bound``        -- the pairwise (c = 2) variance bound.
 ``slack_for_failure``      -- invert either bound for ``lambda``.
+``slack_for_failure_array``-- the same inversion, vectorised per machine.
+``certified_slacks``       -- per-machine certified slacks for a load vector
+                              under an ``E[#bad] < budget`` split.
 ``paper_nominal_slack``    -- ``n^{0.1 delta} sqrt(e_x)``.
+
+The array variants exist so the good-machine accounting of a whole stage
+(hundreds of machines per group) is one whole-array expression instead of a
+per-machine Python loop; benchmarks and the invariant reports consume them.
 """
 
 from __future__ import annotations
@@ -28,9 +35,11 @@ import numpy as np
 
 __all__ = [
     "bellare_rompel_bound",
+    "certified_slacks",
     "chebyshev_bound",
     "paper_nominal_slack",
     "slack_for_failure",
+    "slack_for_failure_array",
 ]
 
 
@@ -71,6 +80,58 @@ def slack_for_failure(
         var = t * p * (1.0 - p) if p is not None else t / 4.0
         return math.sqrt(var / fail_prob)
     return math.sqrt(c * t) * (2.0 / fail_prob) ** (1.0 / c)
+
+
+def slack_for_failure_array(
+    c: int,
+    t: np.ndarray,
+    fail_prob: float,
+    *,
+    p: float | None = None,
+) -> np.ndarray:
+    """Vectorised :func:`slack_for_failure` over a per-machine load array.
+
+    ``t`` is the vector of per-machine item counts (``e_x``); the returned
+    vector is the minimal ``lambda_x`` certifying per-machine failure
+    probability ``<= fail_prob`` at independence ``c``.
+    """
+    if fail_prob <= 0 or fail_prob > 1:
+        raise ValueError("fail_prob must be in (0, 1]")
+    t = np.asarray(t, dtype=np.float64)
+    out = np.zeros_like(t)
+    pos = t > 0
+    if c == 2:
+        var = t * p * (1.0 - p) if p is not None else t / 4.0
+        out[pos] = np.sqrt(var[pos] / fail_prob)
+        return out
+    if c < 4 or c % 2 != 0:
+        raise ValueError("Bellare-Rompel requires even c >= 4")
+    out[pos] = np.sqrt(c * t[pos]) * (2.0 / fail_prob) ** (1.0 / c)
+    return out
+
+
+def certified_slacks(
+    loads: np.ndarray,
+    p: float,
+    *,
+    budget: float = 1.0,
+    c: int = 2,
+) -> np.ndarray:
+    """Per-machine slacks making ``E[#bad machines] < budget`` certifiable.
+
+    The budget is split evenly over the machines (any split works; even is
+    the standard choice), each machine's share is inverted through the
+    chosen concentration bound, and the whole computation is one array
+    expression -- the vectorised form of the module docstring's solver
+    recipe.  Returns zeros for an empty machine group.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.size == 0:
+        return loads.copy()
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    share = min(1.0, budget / loads.size)
+    return slack_for_failure_array(c, loads, share, p=p if c == 2 else None)
 
 
 def paper_nominal_slack(n: int, delta: float, loads: np.ndarray) -> np.ndarray:

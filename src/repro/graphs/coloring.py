@@ -28,6 +28,7 @@ import numpy as np
 
 from ..hashing.primes import next_prime
 from .graph import Graph
+from .kernels import resolve_backend
 from .power import square_graph
 
 __all__ = [
@@ -91,7 +92,14 @@ def _poly_digits(values: np.ndarray, q: int, degree: int) -> np.ndarray:
     return digits
 
 
-def _linial_step(g: Graph, colors: np.ndarray, palette: int) -> tuple[np.ndarray, int]:
+#: Evaluation points processed per vectorised block; bounds the transient
+#: (arcs x block) comparison matrix at ~32 MB for million-arc squares.
+_LINIAL_BLOCK_ELEMS = 1 << 25
+
+
+def _linial_step(
+    g: Graph, colors: np.ndarray, palette: int, *, backend: str | None = None
+) -> tuple[np.ndarray, int]:
     """One Linial reduction round: palette ``K -> q^2``."""
     delta = g.max_degree()
     # degree d with q^{d+1} >= K and q > d * Delta: search the smallest q.
@@ -110,19 +118,104 @@ def _linial_step(g: Graph, colors: np.ndarray, palette: int) -> tuple[np.ndarray
     for j in range(1, d + 1):
         vander[:, j] = (vander[:, j - 1] * xs) % q
     evals = (coeffs @ vander.T) % q  # (n, q): evals[v, x] = p_v(x)
-    new_colors = np.empty(g.n, dtype=np.int64)
-    for v in range(g.n):
-        nbrs = g.neighbors(v)
-        if nbrs.size == 0:
-            new_colors[v] = 0 * q + evals[v, 0]
-            continue
-        # x is 'free' if p_v(x) differs from every neighbour's p_u(x).
-        clash = np.any(evals[nbrs, :] == evals[v, :][None, :], axis=0)
-        free = np.nonzero(~clash)[0]
-        # Guaranteed non-empty because q > d * Delta bounds collision roots.
-        x = int(free[0])
-        new_colors[v] = x * q + int(evals[v, x])
-    return new_colors, q * q
+    if resolve_backend(backend) == "legacy":
+        new_colors = np.empty(g.n, dtype=np.int64)
+        for v in range(g.n):
+            nbrs = g.neighbors(v)
+            if nbrs.size == 0:
+                new_colors[v] = 0 * q + evals[v, 0]
+                continue
+            # x is 'free' if p_v(x) differs from every neighbour's p_u(x).
+            clash = np.any(evals[nbrs, :] == evals[v, :][None, :], axis=0)
+            free = np.nonzero(~clash)[0]
+            # Guaranteed non-empty because q > d * Delta bounds collision
+            # roots.
+            x = int(free[0])
+            new_colors[v] = x * q + int(evals[v, x])
+        return new_colors, q * q
+    if d == 1:
+        x_of = _first_free_points_linear(g, coeffs, q)
+    else:
+        x_of = _first_free_points(g, evals, q)
+    return x_of * q + evals[np.arange(g.n), x_of], q * q
+
+
+def _mod_inverse(a: np.ndarray, q: int) -> np.ndarray:
+    """Vectorised modular inverse of nonzero residues mod prime ``q``
+    (Fermat: ``a^(q-2)``, square-and-multiply on int64)."""
+    result = np.ones_like(a)
+    base = a % q
+    e = q - 2
+    while e:
+        if e & 1:
+            result = (result * base) % q
+        base = (base * base) % q
+        e >>= 1
+    return result
+
+
+def _first_free_points_linear(g: Graph, coeffs: np.ndarray, q: int) -> np.ndarray:
+    """Degree-1 specialisation of :func:`_first_free_points`.
+
+    ``p_v - p_u`` is linear, so each arc clashes on at most the single root
+    ``x = (a0_u - a0_v) / (a1_v - a1_u) mod q`` -- scatter those roots into
+    an (n, q) table and take each row's first free column.  O(arcs log q)
+    for the batched inverses instead of O(arcs * q) comparisons.
+    """
+    arc_src = np.repeat(np.arange(g.n, dtype=np.int64), np.diff(g.indptr))
+    arc_dst = g.indices
+    da1 = (coeffs[arc_src, 1] - coeffs[arc_dst, 1]) % q
+    clash = np.zeros((g.n, q), dtype=bool)
+    rooted = da1 != 0  # equal slopes never collide (intercepts differ)
+    if rooted.any():
+        da0 = (coeffs[arc_dst, 0] - coeffs[arc_src, 0]) % q
+        roots = (da0[rooted] * _mod_inverse(da1[rooted], q)) % q
+        clash[arc_src[rooted], roots] = True
+    return np.argmax(~clash, axis=1).astype(np.int64)
+
+
+def _first_free_points(g: Graph, evals: np.ndarray, q: int) -> np.ndarray:
+    """int64[n]: smallest x with ``p_v(x) != p_u(x)`` for all neighbours u.
+
+    Vectorised over blocks of evaluation points: each block compares the
+    (arc, x) evaluation slices and OR-reduces clashes per node segment.
+    Nodes resolve at their first clash-free x (ascending scan, so output is
+    identical to the per-node loop); later blocks only reprocess the arcs
+    of still-unresolved nodes -- with ``q > d * Delta`` most nodes resolve
+    in the first block, so total work stays near one pass over the arcs.
+    Isolated nodes resolve at ``x = 0``.
+    """
+    n = g.n
+    x_of = np.zeros(n, dtype=np.int64)
+    unresolved = g.degrees() > 0  # isolated nodes take x = 0 immediately
+    arc_src = np.repeat(np.arange(n, dtype=np.int64), np.diff(g.indptr))
+    arc_dst = g.indices
+    block = max(1, min(q, _LINIAL_BLOCK_ELEMS // max(arc_src.size, 1)))
+    for x0 in range(0, q, block):
+        if not unresolved.any():
+            break
+        if x0 > 0:
+            keep = unresolved[arc_src]
+            arc_src, arc_dst = arc_src[keep], arc_dst[keep]
+        if arc_src.size == 0:
+            # Unresolved nodes with no remaining arcs cannot exist (isolated
+            # nodes were settled upfront), but guard the reduceat anyway.
+            break
+        hi = min(x0 + block, q)
+        # eq[k] = True iff arc k's endpoints agree on evaluation point x.
+        eq = evals[arc_dst, x0:hi] == evals[arc_src, x0:hi]  # (arcs, blk)
+        # arc_src is non-decreasing (CSR order survives filtering), so each
+        # node's arcs form one contiguous segment: OR-reduce per segment.
+        starts = np.nonzero(np.concatenate([[True], arc_src[1:] != arc_src[:-1]]))[0]
+        seg_nodes = arc_src[starts]
+        free = ~np.logical_or.reduceat(eq, starts, axis=0)  # (#segments, blk)
+        row_free = free.any(axis=1)
+        hit = seg_nodes[row_free]
+        x_of[hit] = x0 + np.argmax(free[row_free], axis=1)
+        unresolved[hit] = False
+    if unresolved.any():  # unreachable by the q > d * Delta root bound
+        raise AssertionError("Linial step found no free evaluation point")
+    return x_of
 
 
 def linial_coloring(g: Graph, *, compact: bool = True) -> ColoringResult:

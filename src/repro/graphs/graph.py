@@ -20,6 +20,19 @@ Edges are stored twice:
 Everything downstream (sparsification, Luby steps, simulators) consumes these
 arrays directly; per the HPC guides, hot paths are expressed as whole-array
 numpy operations, never per-node Python loops.
+
+CSR adjacency backend
+---------------------
+:meth:`Graph.adjacency_csr` exposes the arc arrays as a ``scipy.sparse``
+CSR matrix (entry ``A[v, u] = 1`` per arc).  The matrix is built lazily on
+first use and cached for the lifetime of the instance; because every
+mutating operation (:meth:`remove_vertices`, :meth:`keep_edges`,
+:meth:`relabel`) returns a *new* ``Graph`` whose cache starts empty, a
+stale adjacency can never be observed.  To make that contract airtight the
+constructor freezes all backing arrays (``writeable=False``), so in-place
+mutation of a live graph raises instead of silently desynchronising the
+cached CSR.  :meth:`invalidate_csr` drops the cache explicitly (e.g. to
+release memory); the next :meth:`adjacency_csr` call rebuilds it.
 """
 
 from __future__ import annotations
@@ -30,6 +43,33 @@ from typing import Iterable, Sequence
 import numpy as np
 
 __all__ = ["Graph"]
+
+
+def _scipy_sparse():
+    """Import ``scipy.sparse`` lazily; raise a clear error when absent."""
+    try:
+        import scipy.sparse as sparse
+    except ImportError as exc:  # pragma: no cover - scipy ships in the env
+        raise ImportError(
+            "Graph.adjacency_csr() requires scipy; install scipy or use the "
+            "raw indptr/indices arrays directly"
+        ) from exc
+    return sparse
+
+
+def _owned_int64(arr: np.ndarray) -> np.ndarray:
+    """A contiguous int64 array the Graph may freeze without side effects.
+
+    The constructor marks its arrays read-only (see the class docs); when a
+    conversion would alias a caller's *writeable* buffer, take a private
+    copy so constructing a graph never mutates caller state.  Already
+    read-only inputs (e.g. arrays exported from another Graph) are shared
+    as-is.
+    """
+    out = np.ascontiguousarray(arr, dtype=np.int64)
+    if out is arr and arr.flags.writeable:
+        out = out.copy()
+    return out
 
 
 def _canonicalise_edges(
@@ -64,6 +104,14 @@ class Graph:
     indptr: np.ndarray = field(repr=False)  # int64[n+1]
     indices: np.ndarray = field(repr=False)  # int64[2m] neighbour ids
     arc_edge_ids: np.ndarray = field(repr=False)  # int64[2m] edge id per arc
+
+    def __post_init__(self) -> None:
+        # Freeze the backing arrays: the cached CSR (and everything else
+        # keyed on graph identity, e.g. fingerprints) relies on instances
+        # never changing after construction.
+        for name in ("edges_u", "edges_v", "indptr", "indices", "arc_edge_ids"):
+            getattr(self, name).flags.writeable = False
+        object.__setattr__(self, "_csr_cache", None)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -114,6 +162,114 @@ class Graph:
     def empty(n: int) -> "Graph":
         """Edgeless graph on ``n`` vertices."""
         return Graph.from_edges(n, np.empty((0, 2), dtype=np.int64))
+
+    @staticmethod
+    def from_csr_arrays(
+        n: int,
+        edges_u: np.ndarray,
+        edges_v: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        arc_edge_ids: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> "Graph":
+        """Rebuild a graph from previously exported canonical + CSR arrays.
+
+        This is the zero-copy fast path used when CSR buffers round-trip
+        through npz (see :mod:`repro.graphs.io`): it skips the O(m log m)
+        canonicalisation sort that :meth:`from_edges` performs.  With
+        ``validate=True`` (default) the buffers are checked for structural
+        consistency in O(n + m); pass ``validate=False`` only for buffers
+        this library itself produced.
+        """
+        u = _owned_int64(edges_u)
+        v = _owned_int64(edges_v)
+        ptr = _owned_int64(indptr)
+        idx = _owned_int64(indices)
+        eid = _owned_int64(arc_edge_ids)
+        if validate:
+            m = u.size
+            if n < 0 or v.shape != (m,):
+                raise ValueError("edges_u/edges_v must be same-length 1-D")
+            if ptr.shape != (n + 1,) or ptr[0] != 0:
+                raise ValueError("indptr must have shape (n+1,) starting at 0")
+            if np.any(np.diff(ptr) < 0) or ptr[-1] != 2 * m:
+                raise ValueError("indptr must be monotone and end at 2m")
+            if idx.shape != (2 * m,) or eid.shape != (2 * m,):
+                raise ValueError("indices/arc_edge_ids must have shape (2m,)")
+            if m:
+                if u.min() < 0 or v.max() >= n or np.any(u >= v):
+                    raise ValueError("edges must be canonical: 0 <= u < v < n")
+                key = u * np.int64(n) + v
+                if np.any(key[1:] <= key[:-1]):
+                    raise ValueError("edges must be sorted and duplicate-free")
+                if idx.min() < 0 or idx.max() >= n:
+                    raise ValueError("indices out of range [0, n)")
+                if eid.min() < 0 or eid.max() >= m:
+                    raise ValueError("arc_edge_ids out of range [0, m)")
+                # Cross-check CSR against the edge list: a structurally
+                # plausible but inconsistent buffer (corrupted cache file,
+                # mangled worker payload) must not produce a graph whose
+                # fingerprint says one thing and whose adjacency says
+                # another.  O(n + m), all whole-array.
+                degs = np.bincount(u, minlength=n) + np.bincount(v, minlength=n)
+                if not np.array_equal(np.diff(ptr), degs):
+                    raise ValueError("indptr row sizes disagree with edge degrees")
+                arc_src = np.repeat(np.arange(n, dtype=np.int64), degs)
+                src_is_u = u[eid] == arc_src
+                ok = np.where(
+                    src_is_u, v[eid] == idx, (v[eid] == arc_src) & (u[eid] == idx)
+                )
+                if not ok.all():
+                    raise ValueError("arc_edge_ids endpoints disagree with indices")
+                # Canonical arc order within each row: u-side arcs (by edge
+                # id) before v-side arcs (by edge id) -- the order
+                # _from_canonical produces and the proposal kernels rely on.
+                arc_key = (~src_is_u) * np.int64(2 * m) + eid
+                row_start = np.zeros(2 * m, dtype=bool)
+                row_start[ptr[:-1][np.diff(ptr) > 0]] = True
+                if np.any(np.diff(arc_key)[~row_start[1:]] <= 0):
+                    raise ValueError("arcs are not in canonical CSR order")
+        return Graph(
+            n=n, edges_u=u, edges_v=v, indptr=ptr, indices=idx, arc_edge_ids=eid
+        )
+
+    # ------------------------------------------------------------------ #
+    # CSR adjacency backend
+    # ------------------------------------------------------------------ #
+
+    def adjacency_csr(self):
+        """``scipy.sparse.csr_matrix`` adjacency (lazily built, cached).
+
+        Entry ``A[v, u] == 1`` for every arc ``v -> u``; ``A @ x`` therefore
+        computes exact int64 neighbourhood sums, which is what the
+        vectorised kernels in :mod:`repro.graphs.kernels` consume.  The
+        matrix shares this instance's ``indptr``/``indices`` buffers.
+        """
+        cached = self._csr_cache
+        if cached is None:
+            sparse = _scipy_sparse()
+            data = np.ones(self.indices.size, dtype=np.int64)
+            cached = sparse.csr_matrix(
+                (data, self.indices, self.indptr), shape=(self.n, self.n)
+            )
+            object.__setattr__(self, "_csr_cache", cached)
+        return cached
+
+    @property
+    def csr_is_built(self) -> bool:
+        """True once :meth:`adjacency_csr` has materialised (and cached)."""
+        return self._csr_cache is not None
+
+    def invalidate_csr(self) -> None:
+        """Drop the cached CSR matrix (rebuilt on next use).
+
+        Mutating operations never need this -- they return fresh instances
+        with empty caches -- but it lets long-lived holders release the
+        adjacency memory explicitly.
+        """
+        object.__setattr__(self, "_csr_cache", None)
 
     # ------------------------------------------------------------------ #
     # Basic queries

@@ -58,26 +58,44 @@ def r_hop_balls(g: Graph, r: int, *, max_ball: int | None = None) -> list[np.nda
         raise ValueError("r must be >= 0")
     if r == 0 or g.n == 0:
         return [np.empty(0, dtype=np.int64) for _ in range(g.n)]
+    reach = _reach_within(g, r)
+    if max_ball is not None:
+        sizes = np.diff(reach.indptr)
+        if sizes.size and sizes.max(initial=0) > max_ball:
+            v = int(np.argmax(sizes))
+            raise ValueError(
+                f"ball of v={v} has {int(sizes[v])} vertices > max_ball={max_ball}"
+            )
+    indices = reach.indices.astype(np.int64)
+    indptr = reach.indptr
+    return [indices[indptr[v] : indptr[v + 1]] for v in range(g.n)]
+
+
+def _reach_within(g: Graph, r: int) -> sp.csr_matrix:
+    """Boolean CSR of "distance in [1, r]" with sorted column indices.
+
+    The diagonal is dropped with a vectorised COO filter (the old
+    ``tolil().setdiag(False)`` round-trip was a per-element Python loop).
+    """
     a = adjacency_matrix(g)
     reach = a.copy()
     frontier = a
     for _ in range(r - 1):
         frontier = (frontier @ a).astype(bool)
         reach = (reach + frontier).astype(bool)
-    reach = reach.tolil()
-    reach.setdiag(False)
-    reach = reach.tocsr()
-    balls: list[np.ndarray] = []
-    for v in range(g.n):
-        ball = reach.indices[reach.indptr[v] : reach.indptr[v + 1]].astype(np.int64)
-        if max_ball is not None and ball.size > max_ball:
-            raise ValueError(
-                f"ball of v={v} has {ball.size} vertices > max_ball={max_ball}"
-            )
-        balls.append(np.sort(ball))
-    return balls
+    coo = reach.tocoo()
+    off_diag = coo.row != coo.col
+    reach = sp.csr_matrix(
+        (coo.data[off_diag], (coo.row[off_diag], coo.col[off_diag])),
+        shape=(g.n, g.n),
+        dtype=bool,
+    )
+    reach.sort_indices()
+    return reach
 
 
 def ball_sizes(g: Graph, r: int) -> np.ndarray:
     """int64[n]: |B_r(v)| excluding v (cheap summary used by space checks)."""
-    return np.asarray([b.size for b in r_hop_balls(g, r)], dtype=np.int64)
+    if r == 0 or g.n == 0:
+        return np.zeros(g.n, dtype=np.int64)
+    return np.diff(_reach_within(g, r).indptr).astype(np.int64)

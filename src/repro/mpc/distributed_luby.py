@@ -23,6 +23,15 @@ Demonstration-scale constraints (documented, enforced by the engine's
 capacity checks): the request/response pattern needs roughly
 ``n / M + M <= S`` and ``Delta``-independent message counts hold because
 each machine sends at most one query per distinct endpoint it stores.
+
+Backends: under the default ``csr`` backend each machine stores its arc set
+as one packed int64 array (same word cost, see
+:func:`~repro.mpc.engine.word_size`) and every per-arc loop -- z-value
+evaluation, per-source minima, endpoint gathering, dead-arc filtering --
+runs as whole-array numpy kernels.  ``backend="legacy"`` keeps the original
+item-per-arc Python loops.  Both backends exchange identical messages in
+identical order, so round counts, capacity checks and the returned MIS
+match exactly.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ from typing import Any
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..graphs.kernels import resolve_backend
 from ..hashing.kwise import KWiseHashFamily, make_family
 from .engine import MPCEngine
 from .primitives import broadcast_word
@@ -50,6 +60,7 @@ def distributed_luby_mis(
     space: int,
     *,
     max_phases: int = 200,
+    backend: str | None = None,
 ) -> tuple[np.ndarray, int, int]:
     """Run Luby MIS end-to-end on the engine.
 
@@ -58,6 +69,313 @@ def distributed_luby_mis(
     for every hash, so progress never stalls).  Returns
     ``(mis_node_ids, total_engine_rounds, phases)``.
     """
+    if resolve_backend(backend) == "legacy":
+        return _distributed_luby_mis_legacy(g, num_machines, space, max_phases)
+    return _distributed_luby_mis_vectorized(g, num_machines, space, max_phases)
+
+
+# ---------------------------------------------------------------------- #
+# Vectorized backend: packed arc arrays per machine
+# ---------------------------------------------------------------------- #
+
+
+def _machine_arcs(items: list[Any]) -> np.ndarray:
+    """The machine's packed arc array (empty if it holds none)."""
+    for it in items:
+        if isinstance(it, np.ndarray):
+            return it
+    return np.empty(0, dtype=np.int64)
+
+
+def _keyed_z(family: KWiseHashFamily, seed: int, nodes: np.ndarray, n: int):
+    """Total-order z-keys ``z(v) * (n + 1) + v`` for a node id array."""
+    z = family.evaluate(seed, nodes.astype(np.int64))
+    return z.astype(np.uint64) * np.uint64(n + 1) + nodes.astype(np.uint64)
+
+
+def _group_minima(src: np.ndarray, vals: np.ndarray):
+    """(sorted unique srcs, per-src minimum of vals)."""
+    order = np.argsort(src, kind="stable")
+    s, v = src[order], vals[order]
+    starts = np.nonzero(np.concatenate([[True], s[1:] != s[:-1]]))[0]
+    return s[starts], np.minimum.reduceat(v, starts)
+
+
+def _distributed_luby_mis_vectorized(
+    g: Graph, num_machines: int, space: int, max_phases: int
+) -> tuple[np.ndarray, int, int]:
+    engine = MPCEngine(num_machines=num_machines, space=space)
+    n = max(g.n, 1)
+    fwd = g.edges_u * n + g.edges_v
+    bwd = g.edges_v * n + g.edges_u
+    engine.load_balanced([int(a) for a in np.concatenate([fwd, bwd]).tolist()])
+    # Pack each machine's arc block into one array (identical word count;
+    # this is local representation, not communication, so no round charge).
+    for mid in range(engine.num_machines):
+        engine.storage[mid] = [np.asarray(engine.storage[mid], dtype=np.int64)]
+
+    family: KWiseHashFamily = make_family(universe=n, k=2)
+    m_machines = engine.num_machines
+    in_mis = np.zeros(g.n, dtype=bool)
+    decided = np.zeros(g.n, dtype=bool)
+    rounds0 = engine.rounds_executed
+    phases = 0
+
+    def has_arcs() -> bool:
+        return any(
+            bool(it.size)
+            for st in engine.storage
+            for it in st
+            if isinstance(it, np.ndarray)
+        )
+
+    while has_arcs():
+        phases += 1
+        if phases > max_phases:
+            raise RuntimeError("distributed Luby failed to converge")
+        seed = (1 + phases * 7919) % family.size
+        broadcast_word(engine, seed)
+
+        # ---- step 2: min-z partials to home machines ------------------ #
+        def minz_step(mid: int, items: list[Any]):
+            arcs = _machine_arcs(items)
+            keep = [it for it in items if isinstance(it, tuple)]
+            sends = []
+            if arcs.size:
+                src, dst = np.divmod(arcs, n)
+                srcs, zmins = _group_minima(src, _keyed_z(family, seed, dst, n))
+                homes = srcs % m_machines
+                for s_, zmin, home in zip(
+                    srcs.tolist(), zmins.tolist(), homes.tolist()
+                ):
+                    msg = ("minz", s_, zmin)
+                    if home == mid:
+                        keep.append(msg)
+                    else:
+                        sends.append((home, msg))
+            return [arcs] + keep, sends
+
+        engine.round(minz_step)
+
+        # ---- step 3: home machines decide membership in I ------------- #
+        def decide_step(mid: int, items: list[Any]):
+            passthrough = [
+                it
+                for it in items
+                if not (isinstance(it, tuple) and it[0] == "minz")
+            ]
+            mins: dict[int, int] = {}
+            for it in items:
+                if isinstance(it, tuple) and it[0] == "minz":
+                    v, zmin = it[1], it[2]
+                    if v not in mins or zmin < mins[v]:
+                        mins[v] = zmin
+            ii: list[tuple] = []
+            if mins:
+                vs = np.fromiter(mins.keys(), dtype=np.int64, count=len(mins))
+                zv = _keyed_z(family, seed, vs, n)
+                bits = zv < np.fromiter(
+                    (np.uint64(z) for z in mins.values()),
+                    dtype=np.uint64,
+                    count=len(mins),
+                )
+                ii = [
+                    ("inI", v, int(b))
+                    for v, b in zip(vs.tolist(), bits.tolist())
+                ]
+            return passthrough + ii, []
+
+        engine.round(decide_step)
+
+        # ---- step 4a: arc holders query in-I bits ---------------------- #
+        def query_step(mid: int, items: list[Any]):
+            arcs = _machine_arcs(items)
+            keep = [it for it in items if isinstance(it, tuple)]
+            sends = []
+            if arcs.size:
+                src, dst = np.divmod(arcs, n)
+                wanted = np.unique(np.concatenate([src, dst]))
+                homes = wanted % m_machines
+                for v, home in zip(wanted.tolist(), homes.tolist()):
+                    msg = ("q", v, mid)
+                    if home == mid:
+                        keep.append(msg)
+                    else:
+                        sends.append((home, msg))
+            return [arcs] + keep, sends
+
+        engine.round(query_step)
+
+        def answer_step(mid: int, items: list[Any]):
+            in_i = {
+                it[1]: it[2]
+                for it in items
+                if isinstance(it, tuple) and it[0] == "inI"
+            }
+            keep = [
+                it
+                for it in items
+                if not (isinstance(it, tuple) and it[0] == "q")
+            ]
+            sends = []
+            for it in items:
+                if isinstance(it, tuple) and it[0] == "q":
+                    v, asker = it[1], it[2]
+                    msg = ("a", v, in_i.get(v, 0))
+                    if asker == mid:
+                        keep.append(msg)
+                    else:
+                        sends.append((asker, msg))
+            return keep, sends
+
+        engine.round(answer_step)
+
+        # ---- step 4b: dominated partials back to homes ----------------- #
+        def dominated_step(mid: int, items: list[Any]):
+            arcs = _machine_arcs(items)
+            answers = {
+                it[1]: it[2]
+                for it in items
+                if isinstance(it, tuple) and it[0] == "a"
+            }
+            keep = [
+                it
+                for it in items
+                if isinstance(it, tuple) and it[0] not in ("a", "minz")
+            ]
+            # retain answers for the kill step
+            keep += [("a", v, bit) for v, bit in answers.items()]
+            sends = []
+            if arcs.size and answers:
+                src, dst = np.divmod(arcs, n)
+                chosen = np.fromiter(
+                    (v for v, bit in answers.items() if bit),
+                    dtype=np.int64,
+                )
+                dom_srcs = np.unique(src[np.isin(dst, chosen)])
+                homes = dom_srcs % m_machines
+                for v, home in zip(dom_srcs.tolist(), homes.tolist()):
+                    msg = ("dom", v, 1)
+                    if home == mid:
+                        keep.append(msg)
+                    else:
+                        sends.append((home, msg))
+            return [arcs] + keep, sends
+
+        engine.round(dominated_step)
+
+        # ---- step 5: homes finalise killed bits; holders re-query ------ #
+        def finalize_step(mid: int, items: list[Any]):
+            arcs = _machine_arcs(items)
+            in_i = {}
+            dom = {}
+            answers = {}
+            for it in items:
+                if isinstance(it, tuple):
+                    if it[0] == "inI":
+                        in_i[it[1]] = it[2]
+                    elif it[0] == "dom":
+                        dom[it[1]] = max(dom.get(it[1], 0), it[2])
+                    elif it[0] == "a":
+                        answers[it[1]] = it[2]
+            killed = [
+                ("killed", v, 1 if (bit or dom.get(v, 0)) else 0)
+                for v, bit in in_i.items()
+            ]
+            keep = [("a", v, b) for v, b in answers.items()]
+            keep += [("inI", v, b) for v, b in in_i.items()]
+            return [arcs] + keep + killed, []
+
+        engine.round(finalize_step)
+
+        def kill_query_step(mid: int, items: list[Any]):
+            arcs = _machine_arcs(items)
+            keep = [it for it in items if isinstance(it, tuple)]
+            sends = []
+            if arcs.size:
+                src, dst = np.divmod(arcs, n)
+                wanted = np.unique(np.concatenate([src, dst]))
+                homes = wanted % m_machines
+                for v, home in zip(wanted.tolist(), homes.tolist()):
+                    msg = ("kq", v, mid)
+                    if home == mid:
+                        keep.append(msg)
+                    else:
+                        sends.append((home, msg))
+            return [arcs] + keep, sends
+
+        engine.round(kill_query_step)
+
+        def kill_answer_and_filter(mid: int, items: list[Any]):
+            killed_bits = {
+                it[1]: it[2]
+                for it in items
+                if isinstance(it, tuple) and it[0] == "killed"
+            }
+            sends = []
+            keep: list[Any] = []
+            for it in items:
+                if isinstance(it, tuple) and it[0] == "kq":
+                    v, asker = it[1], it[2]
+                    msg = ("ka", v, killed_bits.get(v, 0))
+                    if asker == mid:
+                        keep.append(msg)
+                    else:
+                        sends.append((asker, msg))
+                elif isinstance(it, tuple) and it[0] in ("killed", "inI"):
+                    keep.append(it)
+                elif isinstance(it, np.ndarray):
+                    keep.append(it)
+            return keep, sends
+
+        engine.round(kill_answer_and_filter)
+
+        def filter_step(mid: int, items: list[Any]):
+            arcs = _machine_arcs(items)
+            keep = [
+                it
+                for it in items
+                if isinstance(it, tuple) and it[0] in ("killed", "inI")
+            ]
+            if arcs.size:
+                src, dst = np.divmod(arcs, n)
+                dead = np.fromiter(
+                    (
+                        it[1]
+                        for it in items
+                        if isinstance(it, tuple) and it[0] == "ka" and it[2]
+                    ),
+                    dtype=np.int64,
+                )
+                alive = ~(np.isin(src, dead) | np.isin(dst, dead))
+                arcs = arcs[alive]
+            return [arcs] + keep, []
+
+        engine.round(filter_step)
+
+        # Harvest decisions (observation only; no engine communication).
+        for mid in range(m_machines):
+            for it in engine.storage[mid]:
+                if isinstance(it, tuple) and it[0] == "inI" and it[2]:
+                    in_mis[it[1]] = True
+                    decided[it[1]] = True
+                if isinstance(it, tuple) and it[0] == "killed" and it[2]:
+                    decided[it[1]] = True
+
+    # Undecided nodes are isolated in the residual graph: they join the MIS.
+    in_mis |= ~decided
+    total_rounds = engine.rounds_executed - rounds0
+    return np.nonzero(in_mis)[0].astype(np.int64), total_rounds, phases
+
+
+# ---------------------------------------------------------------------- #
+# Legacy backend: one storage item per arc, per-arc Python loops
+# ---------------------------------------------------------------------- #
+
+
+def _distributed_luby_mis_legacy(
+    g: Graph, num_machines: int, space: int, max_phases: int
+) -> tuple[np.ndarray, int, int]:
     engine = MPCEngine(num_machines=num_machines, space=space)
     n = max(g.n, 1)
     fwd = g.edges_u * n + g.edges_v

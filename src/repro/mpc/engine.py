@@ -22,15 +22,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
+import numpy as np
+
 from .exceptions import CapacityExceededError, SpaceExceededError
 
 __all__ = ["MPCEngine", "word_size"]
 
 
 def word_size(item: Any) -> int:
-    """Number of machine words an item occupies (tuples = len, scalars = 1)."""
+    """Number of machine words an item occupies.
+
+    Tuples/lists cost their length and scalars cost 1.  A numpy array costs
+    one word per element: algorithms may store a machine's whole scalar
+    buffer as a single packed array (the vectorised simulators do this for
+    their arc sets), and the space accounting must be identical to storing
+    the same scalars item-by-item.
+    """
     if isinstance(item, (tuple, list)):
         return len(item)
+    if isinstance(item, np.ndarray):
+        return int(item.size)
     return 1
 
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 import math
 from typing import Any
 
+import numpy as np
+
 from .engine import MPCEngine
 
 __all__ = ["broadcast_word", "distributed_prefix_sums", "distributed_sort"]
@@ -199,11 +201,9 @@ def distributed_prefix_sums(engine: MPCEngine) -> int:
                 continue
             else:
                 values.append(it)
-        prefixed = []
-        running = offset
-        for v in values:
-            running += v
-            prefixed.append(running)
+        if not values:
+            return [], []
+        prefixed = (offset + np.cumsum(np.asarray(values))).tolist()
         return prefixed, []
 
     engine.round(rewrite_step)
@@ -277,14 +277,14 @@ def distributed_sort(engine: MPCEngine) -> int:
                 values.append(it)
         sends = []
         keep = []
-        import bisect
-
-        for v in values:
-            dest = bisect.bisect_right(splitters, v)
+        # Vectorised bucket assignment (one searchsorted instead of a
+        # per-item bisect); messages stay item-granular per the model.
+        dests = np.searchsorted(np.asarray(splitters), np.asarray(values), side="right")
+        for v, dest in zip(values, dests.tolist()):
             if dest == mid:
                 keep.append(v)
             else:
-                sends.append((dest, v))
+                sends.append((int(dest), v))
         return keep, sends
 
     engine.round(partition_step)

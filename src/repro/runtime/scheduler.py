@@ -156,14 +156,24 @@ class Scheduler:
     def _resolve_sources(
         self, specs: list[JobSpec]
     ) -> dict[GraphSource, tuple[Graph, str, bytes] | Exception]:
-        """Build each distinct source once: graph, fingerprint, npz bytes."""
+        """Build each distinct source once: graph, fingerprint, npz bytes.
+
+        The npz payload carries the CSR adjacency buffers, so every worker
+        reconstructs the graph through the validated
+        :meth:`~repro.graphs.graph.Graph.from_csr_arrays` fast path instead
+        of re-sorting the edge list once per job.
+        """
         resolved: dict[GraphSource, tuple[Graph, str, bytes] | Exception] = {}
         for spec in specs:
             if spec.source in resolved:
                 continue
             try:
                 g = spec.source.resolve()
-                resolved[spec.source] = (g, graph_fingerprint(g), graph_to_npz_bytes(g))
+                resolved[spec.source] = (
+                    g,
+                    graph_fingerprint(g),
+                    graph_to_npz_bytes(g, include_csr=True),
+                )
             except Exception as exc:  # structured parent-side failure
                 resolved[spec.source] = exc
         return resolved

@@ -10,7 +10,9 @@ inside the worker instead of leaving an orphaned computation behind.
 The input graph arrives either as pickled-npz bytes (packed once by the
 scheduler, so N jobs on the same graph ship one buffer each without
 re-generating) or as a :class:`~repro.runtime.spec.GraphSource` to resolve
-locally.
+locally.  Scheduler-packed buffers include the CSR adjacency arrays, so
+``graph_from_npz_bytes`` takes the ``Graph.from_csr_arrays`` fast path and
+workers never re-run the O(m log m) adjacency build per job.
 """
 
 from __future__ import annotations

@@ -1,0 +1,253 @@
+"""Vectorized (csr) and legacy kernels must be bit-identical everywhere.
+
+The CSR backend is only allowed to change *how fast* answers arrive, never
+the answers: same RNG stream, same MIS/matching sets, same traces, same
+engine accounting.  These tests pin that contract with hypothesis property
+tests on seeded random graphs plus targeted regressions for the MPC engine
+and the runtime cache under the CSR backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.greedy import greedy_matching, greedy_mis
+from repro.baselines.israeli_itai import israeli_itai_matching
+from repro.baselines.luby import (
+    luby_matching_randomized,
+    luby_mis_pairwise,
+    luby_mis_randomized,
+)
+from repro.core.good_nodes import good_nodes_mis
+from repro.core.params import Params
+from repro.graphs import Graph, gnp_random_graph
+from repro.graphs.coloring import linial_coloring
+from repro.graphs.kernels import resolve_backend, segment_min, segment_sum
+from repro.mpc.distributed_luby import distributed_luby_mis
+from repro.verify import verify_matching_pairs, verify_mis_nodes
+
+
+# --------------------------------------------------------------------- #
+# Backend resolution
+# --------------------------------------------------------------------- #
+
+
+def test_resolve_backend_defaults_and_env(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+    assert resolve_backend() == "csr"
+    assert resolve_backend("legacy") == "legacy"
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "legacy")
+    assert resolve_backend() == "legacy"
+    with pytest.raises(ValueError):
+        resolve_backend("simd")
+
+
+# --------------------------------------------------------------------- #
+# Segment kernels vs a python reference
+# --------------------------------------------------------------------- #
+
+
+@given(
+    st.lists(st.integers(0, 6), min_size=0, max_size=12),
+    st.integers(0, 2**31),
+)
+@settings(max_examples=50)
+def test_segment_kernels_match_reference(seg_sizes, seed):
+    rng = np.random.default_rng(seed)
+    sizes = np.asarray(seg_sizes, dtype=np.int64)
+    indptr = np.concatenate([[0], np.cumsum(sizes)])
+    values = rng.integers(-50, 50, size=int(indptr[-1])).astype(np.int64)
+    mins = segment_min(values, indptr, np.int64(999))
+    sums = segment_sum(values, indptr)
+    for i, size in enumerate(seg_sizes):
+        seg = values[indptr[i] : indptr[i + 1]]
+        assert sums[i] == seg.sum()
+        assert mins[i] == (seg.min() if size else 999)
+
+
+# --------------------------------------------------------------------- #
+# Solver equivalence on seeded random graphs (hypothesis)
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(2, 32))
+    density = draw(st.integers(0, 3))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    p = [0.02, 0.1, 0.3, 0.8][density]
+    mask = rng.random((n, n)) < p
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n) if mask[i, j]]
+    return Graph.from_edges(n, edges)
+
+
+def _same_result(a, b) -> bool:
+    return (
+        np.array_equal(a.solution, b.solution)
+        and a.edge_trace == b.edge_trace
+        and a.iterations == b.iterations
+        and a.rounds == b.rounds
+    )
+
+
+@given(random_graphs(), st.integers(0, 2**31))
+def test_luby_mis_backends_identical(g, seed):
+    a = luby_mis_randomized(g, seed, backend="legacy")
+    b = luby_mis_randomized(g, seed, backend="csr")
+    assert _same_result(a, b)
+    assert verify_mis_nodes(g, b.solution)
+
+
+@given(random_graphs(), st.integers(0, 2**31))
+def test_luby_pairwise_backends_identical(g, seed):
+    a = luby_mis_pairwise(g, seed, backend="legacy")
+    b = luby_mis_pairwise(g, seed, backend="csr")
+    assert _same_result(a, b)
+    assert verify_mis_nodes(g, b.solution)
+
+
+@given(random_graphs(), st.integers(0, 2**31))
+def test_luby_matching_backends_identical(g, seed):
+    a = luby_matching_randomized(g, seed, backend="legacy")
+    b = luby_matching_randomized(g, seed, backend="csr")
+    assert _same_result(a, b)
+    assert verify_matching_pairs(g, b.solution)
+
+
+@given(random_graphs(), st.integers(0, 2**31))
+def test_israeli_itai_backends_identical(g, seed):
+    a = israeli_itai_matching(g, seed, backend="legacy")
+    b = israeli_itai_matching(g, seed, backend="csr")
+    assert _same_result(a, b)
+    assert verify_matching_pairs(g, b.solution)
+
+
+@given(random_graphs())
+def test_greedy_backends_identical(g):
+    a = greedy_mis(g, backend="legacy")
+    assert np.array_equal(a, greedy_mis(g, backend="csr"))
+    assert np.array_equal(a, greedy_mis(g))  # default is the sequential scan
+    b = greedy_matching(g, backend="legacy")
+    assert np.array_equal(b, greedy_matching(g, backend="csr"))
+    assert np.array_equal(b, greedy_matching(g))
+
+
+@given(random_graphs())
+def test_good_nodes_mis_backends_identical(g):
+    params = Params()
+    a = good_nodes_mis(g, params, backend="legacy")
+    b = good_nodes_mis(g, params, backend="csr")
+    assert a.i_star == b.i_star
+    assert np.array_equal(a.b_mask, b.b_mask)
+    assert np.array_equal(a.a_mask, b.a_mask)
+    assert np.array_equal(a.q0_mask, b.q0_mask)
+
+
+def test_linial_coloring_backends_identical(any_graph, monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+    a = linial_coloring(any_graph)
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "legacy")
+    b = linial_coloring(any_graph)
+    assert a.num_colors == b.num_colors
+    assert np.array_equal(a.colors, b.colors)
+
+
+# --------------------------------------------------------------------- #
+# MPC engine accounting under the CSR backend
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "make,machines,space",
+    [
+        (lambda: gnp_random_graph(30, 0.2, seed=1), 4, 512),
+        (lambda: gnp_random_graph(48, 0.12, seed=2), 5, 512),
+    ],
+)
+def test_distributed_luby_backends_identical(make, machines, space):
+    g = make()
+    mis_a, rounds_a, phases_a = distributed_luby_mis(
+        g, machines, space, backend="legacy"
+    )
+    mis_b, rounds_b, phases_b = distributed_luby_mis(g, machines, space, backend="csr")
+    assert np.array_equal(mis_a, mis_b)
+    assert (rounds_a, phases_a) == (rounds_b, phases_b)
+    assert rounds_b == 10 * phases_b  # engine accounting is unchanged
+    assert verify_mis_nodes(g, mis_b)
+
+
+def test_engine_word_size_counts_arrays():
+    from repro.mpc.engine import word_size
+
+    assert word_size(np.arange(7)) == 7
+    assert word_size(np.empty(0, dtype=np.int64)) == 0
+    assert word_size((1, 2, 3)) == 3
+    assert word_size(5) == 1
+
+
+# --------------------------------------------------------------------- #
+# Vectorised estimator accounting
+# --------------------------------------------------------------------- #
+
+
+def test_stage_search_reports_certified_slacks():
+    from repro.core.stage import node_level_spec, run_stage_seed_search
+    from repro.derand.estimators import slack_for_failure
+    from repro.hashing.kwise import make_family
+
+    group_of = np.repeat(np.arange(10, dtype=np.int64), 5)
+    units = np.arange(50, dtype=np.int64)
+    spec = node_level_spec("certified-test", group_of, units)
+    family = make_family(universe=64, k=2)
+    outcome = run_stage_seed_search(family, 0.5, [spec], Params(), 64, [])
+    assert len(outcome.certified_lambdas) == 1
+    cert = outcome.certified_lambdas[0]
+    assert cert.shape == outcome.lambdas[0].shape
+    assert np.all(cert > 0)
+    # The array solver must agree with the scalar inversion per machine.
+    loads = spec.grouping.loads
+    share = min(1.0, 1.0 / loads.size)
+    p_real = outcome.p_real
+    expect = [slack_for_failure(2, float(t), share, p=p_real) for t in loads]
+    assert np.allclose(cert, expect)
+
+
+# --------------------------------------------------------------------- #
+# ResultCache LRU touch under the CSR backend
+# --------------------------------------------------------------------- #
+
+
+def test_scheduler_cache_hits_with_csr_payloads(tmp_path):
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.scheduler import Scheduler
+    from repro.runtime.spec import GraphSource, JobSpec
+
+    spec = JobSpec(
+        problem="mis",
+        source=GraphSource.generator("gnp_random_graph", n=40, p=0.15, seed=3),
+    )
+    cache = ResultCache(tmp_path / "cache")
+    sched = Scheduler(workers=1, cache=cache)
+    first = sched.run([spec])
+    assert first.all_ok and first.stats.cache_hits == 0
+    second = sched.run([spec])
+    assert second.all_ok and second.stats.cache_hits == 1
+    assert second.results[0].solution_size == first.results[0].solution_size
+
+
+def test_cache_lru_touch_protects_recently_read(tmp_path):
+    from repro.runtime.cache import ResultCache
+
+    cache = ResultCache(tmp_path / "cache", max_entries=2)
+    arrays = {"solution": np.arange(3, dtype=np.int64)}
+    cache.put("k1", job={"status": "ok"}, arrays=arrays)
+    cache.put("k2", job={"status": "ok"}, arrays=arrays)
+    assert cache.get("k1") is not None  # touch: k1 becomes most recent
+    cache.put("k3", job={"status": "ok"}, arrays=arrays)  # evicts k2, not k1
+    assert cache.keys() == ["k1", "k3"]
+    assert cache.get("k2") is None
+    assert cache.stats.evictions == 1
