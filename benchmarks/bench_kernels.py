@@ -24,9 +24,7 @@ emitter; the checked-in baseline lives at
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
@@ -34,7 +32,12 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from _common import emit_json  # noqa: E402
+from _common import (  # noqa: E402
+    check_speedup_regression,
+    emit_json,
+    speedup_case,
+    write_speedup_baseline,
+)
 
 from repro.baselines.greedy import greedy_mis  # noqa: E402
 from repro.baselines.israeli_itai import israeli_itai_matching  # noqa: E402
@@ -61,27 +64,10 @@ REGRESSION_FACTOR = 2.0
 GATED_KERNELS = ("luby_step_minz", "linial_step")
 
 
-def _best_of(fn, repeats: int) -> tuple[float, object]:
-    best = float("inf")
-    out = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        out = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, out
-
-
 def _case(name, legacy_fn, csr_fn, same_fn, repeats, meta):
-    t_legacy, a = _best_of(legacy_fn, repeats)
-    t_csr, b = _best_of(csr_fn, repeats)
-    identical = bool(same_fn(a, b))
-    return name, {
-        "legacy_s": t_legacy,
-        "csr_s": t_csr,
-        "speedup": t_legacy / t_csr if t_csr > 0 else float("inf"),
-        "identical": identical,
-        **meta,
-    }
+    return speedup_case(
+        name, legacy_fn, csr_fn, same_fn, repeats, meta, labels=("legacy", "csr")
+    )
 
 
 def _minz_case(g, repeats):
@@ -208,45 +194,14 @@ def run(mode: str, seed: int) -> dict:
 
 
 def check_regression(payload: dict, baseline_path: Path) -> list[str]:
-    """Messages describing gate failures (empty = green).
-
-    Parity is checked for every kernel; speedup ratios are gated only for
-    ``GATED_KERNELS`` (see the constant's note on timing noise).
-    """
-    problems = []
-    for name, case in payload["cases"].items():
-        if not case["identical"]:
-            problems.append(f"{name}: csr and legacy outputs DIVERGED")
-    try:
-        baseline = json.loads(baseline_path.read_text())
-    except OSError as exc:
-        problems.append(f"baseline {baseline_path} unreadable: {exc}")
-        return problems
-    except json.JSONDecodeError as exc:
-        problems.append(f"baseline {baseline_path} is not valid JSON: {exc}")
-        return problems
-    base_mode = baseline.get("mode")
-    if base_mode and base_mode != payload["mode"]:
-        problems.append(
-            f"baseline was recorded in {base_mode!r} mode but this run is "
-            f"{payload['mode']!r}; refresh with --write-baseline"
-        )
-        return problems
-    for name, base_case in baseline["cases"].items():
-        if name not in GATED_KERNELS:
-            continue
-        cur = payload["cases"].get(name)
-        if cur is None:
-            problems.append(f"{name}: kernel present in baseline but not run")
-            continue
-        floor = base_case["speedup"] / REGRESSION_FACTOR
-        if cur["speedup"] < floor:
-            problems.append(
-                f"{name}: speedup {cur['speedup']:.2f}x fell below "
-                f"{floor:.2f}x (baseline {base_case['speedup']:.2f}x / "
-                f"{REGRESSION_FACTOR:g})"
-            )
-    return problems
+    """Gate failures (empty = green); see :func:`check_speedup_regression`."""
+    return check_speedup_regression(
+        payload,
+        baseline_path,
+        GATED_KERNELS,
+        REGRESSION_FACTOR,
+        "csr and legacy outputs DIVERGED",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -289,18 +244,7 @@ def main(argv: list[str] | None = None) -> int:
     emit_json("kernels", payload)
 
     if args.write_baseline:
-        out = Path(args.write_baseline)
-        out.parent.mkdir(parents=True, exist_ok=True)
-        slim = {
-            "mode": mode,
-            "cases": {
-                k: {"speedup": round(v["speedup"], 3)}
-                for k, v in payload["cases"].items()
-                if k in GATED_KERNELS
-            },
-        }
-        out.write_text(json.dumps(slim, indent=2, sort_keys=True) + "\n")
-        print(f"[baseline] wrote {out}")
+        write_speedup_baseline(Path(args.write_baseline), payload, GATED_KERNELS)
 
     if args.check:
         problems = check_regression(payload, Path(args.check))

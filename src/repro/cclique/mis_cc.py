@@ -30,8 +30,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..baselines.greedy import greedy_matching
-from ..derand.strategies import select_seed
+from ..derand.strategies import select_seed_batch
 from ..graphs.graph import Graph
+from ..graphs.kernels import (
+    group_order_indptr,
+    segment_any_block_fn,
+    segment_min_block_fn,
+)
 from ..hashing.families import make_product_family
 from .model import CongestedCliqueContext
 
@@ -103,32 +108,36 @@ def cc_mis(
         a_mask, target = _phase_target(g)
         deg = g.degrees().astype(np.float64)
         live = deg > 0
-        eu, ev = g.edges_u, g.edges_v
+        ids_u64 = ids_all.astype(np.uint64)
+        nbr_min_fn = segment_min_block_fn(g.indices, g.indptr, graph.n)
+        nbr_any_fn = segment_any_block_fn(g.indices, g.indptr, graph.n)
 
-        def kill_mask(seed: int) -> np.ndarray:
-            key = family.evaluate(seed, ids_all) * stride + ids_all.astype(
-                np.uint64
-            )
-            nbr_min = np.full(graph.n, maxkey, dtype=np.uint64)
-            np.minimum.at(nbr_min, eu, key[ev])
-            np.minimum.at(nbr_min, ev, key[eu])
-            i_mask = live & (key < nbr_min)
-            return i_mask, i_mask | (g.degrees_toward(i_mask) > 0)
+        def kill_masks(seeds: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            """(i_mask, kill) as bool[S, n] blocks for a block of seeds."""
+            key = family.evaluate_batch(seeds, ids_all) * stride + ids_u64[None, :]
+            nbr_min = nbr_min_fn(key, maxkey)
+            i_mask = live[None, :] & (key < nbr_min)
+            covered = nbr_any_fn(i_mask)
+            return i_mask, i_mask | covered
 
-        def objective(seed: int) -> float:
-            _, kill = kill_mask(seed)
-            return float(deg[kill & a_mask].sum())
+        def batch_objective(seeds: np.ndarray) -> np.ndarray:
+            _, kill = kill_masks(seeds)
+            return np.where(kill & a_mask[None, :], deg[None, :], 0.0).sum(axis=1)
 
+        # Phase-disjoint scan offsets; the scan itself wraps around the
+        # family, so deep phases still cover every seed before giving up.
         start = 1 + (phase - 1) * max_scan_trials
-        sel = select_seed(
+        sel = select_seed_batch(
             family.size,
-            objective,
+            batch_objective,
             strategy="scan",
             target=target,
             max_trials=max_scan_trials,
             start=start,
         )
-        i_mask, kill = kill_mask(sel.seed)
+        one = np.array([sel.seed], dtype=np.int64)
+        i_masks, kills = kill_masks(one)
+        i_mask, kill = i_masks[0], kills[0]
         in_mis |= i_mask
         removed |= kill
         g = g.remove_vertices(kill)
@@ -190,33 +199,42 @@ def cc_maximal_matching(
         trace.append(g.m)
         family = make_product_family(max(g.m, 2), k=2)
         eids = np.arange(g.m, dtype=np.int64)
+        eids_u64 = eids.astype(np.uint64)
         stride = np.uint64(g.m + 1)
         maxkey = np.uint64(2**63 - 1)
         deg = g.degrees().astype(np.float64)
         eu, ev = g.edges_u, g.edges_v
+        w_u, w_v = deg[eu], deg[ev]
+        inc_nodes = np.concatenate([eu, ev])
+        inc_pos = np.concatenate([eids, eids])
+        inc_order, inc_indptr = group_order_indptr(inc_nodes, graph.n)
+        node_min_fn = segment_min_block_fn(
+            inc_pos[inc_order], inc_indptr, eids.size
+        )
 
-        def matched_mask(seed: int) -> np.ndarray:
-            key = family.evaluate(seed, eids) * stride + eids.astype(np.uint64)
-            node_min = np.full(graph.n, maxkey, dtype=np.uint64)
-            np.minimum.at(node_min, eu, key)
-            np.minimum.at(node_min, ev, key)
-            return (key == node_min[eu]) & (key == node_min[ev])
+        def matched_masks(seeds: np.ndarray) -> np.ndarray:
+            key = family.evaluate_batch(seeds, eids) * stride + eids_u64[None, :]
+            node_min = node_min_fn(key, maxkey)
+            return (key == node_min[:, eu]) & (key == node_min[:, ev])
 
-        def objective(seed: int) -> float:
-            mm = matched_mask(seed)
-            return float(deg[eu[mm]].sum() + deg[ev[mm]].sum())
+        def batch_objective(seeds: np.ndarray) -> np.ndarray:
+            mm = matched_masks(seeds)
+            return (
+                np.where(mm, w_u[None, :], 0.0).sum(axis=1)
+                + np.where(mm, w_v[None, :], 0.0).sum(axis=1)
+            )
 
         target = float(g.m) / 109.0
         start = 1 + (phase - 1) * max_scan_trials
-        sel = select_seed(
+        sel = select_seed_batch(
             family.size,
-            objective,
+            batch_objective,
             strategy="scan",
             target=target,
             max_trials=max_scan_trials,
             start=start,
         )
-        mm = matched_mask(sel.seed)
+        mm = matched_masks(np.array([sel.seed], dtype=np.int64))[0]
         eid_sel = np.nonzero(mm)[0]
         pairs.append(np.stack([eu[eid_sel], ev[eid_sel]], axis=1))
         kill = np.zeros(graph.n, dtype=bool)

@@ -26,9 +26,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..derand.strategies import select_seed
+from ..derand.strategies import select_seed_batch
 from ..graphs.coloring import distance2_coloring
 from ..graphs.graph import Graph
+from ..graphs.kernels import segment_any_block_fn, segment_min_block_fn
 from ..hashing.families import make_color_family, make_product_family
 from .model import CongestContext
 
@@ -71,13 +72,13 @@ def congest_mis(
         ctx.ledger.charge("coloring", max(1, coloring.iterations))
         family = make_color_family(coloring.num_colors)
         keys_of = coloring.colors.astype(np.int64)
-        evaluate = family.evaluate_colors
+        evaluate_batch = family.evaluate_colors_batch
         seed_bits = family.seed_bits
         fam_size = family.size
     else:
         family = make_product_family(max(n, 2), k=2)
         keys_of = np.arange(n, dtype=np.int64)
-        evaluate = family.evaluate
+        evaluate_batch = family.evaluate_batch
         seed_bits = family.seed_bits
         fam_size = family.size
 
@@ -100,35 +101,38 @@ def congest_mis(
 
         deg = g.degrees().astype(np.float64)
         live = np.nonzero(deg > 0)[0].astype(np.int64)
+        live_u64 = live.astype(np.uint64)
         eu, ev = g.edges_u, g.edges_v
+        nbr_min_fn = segment_min_block_fn(g.indices, g.indptr, n)
+        nbr_any_fn = segment_any_block_fn(g.indices, g.indptr, n)
 
-        def kill_of(seed: int):
-            z = evaluate(seed, keys_of[live])
-            key = np.full(n, maxkey, dtype=np.uint64)
-            key[live] = z * stride + live.astype(np.uint64)
-            nbr_min = np.full(n, maxkey, dtype=np.uint64)
-            np.minimum.at(nbr_min, eu, key[ev])
-            np.minimum.at(nbr_min, ev, key[eu])
-            i_mask = np.zeros(n, dtype=bool)
-            i_mask[live] = key[live] < nbr_min[live]
-            return i_mask, i_mask | (g.degrees_toward(i_mask) > 0)
+        def kill_of(seeds: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            z = evaluate_batch(seeds, keys_of[live])
+            key = np.full((z.shape[0], n), maxkey, dtype=np.uint64)
+            key[:, live] = z * stride + live_u64[None, :]
+            nbr_min = nbr_min_fn(key, maxkey)
+            i_mask = np.zeros(key.shape, dtype=bool)
+            i_mask[:, live] = key[:, live] < nbr_min[:, live]
+            covered = nbr_any_fn(i_mask)
+            return i_mask, i_mask | covered
 
-        def objective(seed: int) -> float:
-            _, kill = kill_of(seed)
-            return float(np.count_nonzero(kill[eu] | kill[ev]))
+        def batch_objective(seeds: np.ndarray) -> np.ndarray:
+            _, kill = kill_of(seeds)
+            return (kill[:, eu] | kill[:, ev]).sum(axis=1).astype(np.float64)
 
-        start = 1 + ((phase - 1) * max_scan_trials) % max(
-            1, fam_size - max_scan_trials
-        )
-        sel = select_seed(
+        # Phase-disjoint offsets; wrap-around inside the scan covers the
+        # rest of the family when the offset lands near the end.
+        start = 1 + ((phase - 1) * max_scan_trials) % max(1, fam_size - 1)
+        sel = select_seed_batch(
             fam_size,
-            objective,
+            batch_objective,
             strategy="scan",
             target=g.m / 120.0,  # conservative Luby-constant target
             max_trials=max_scan_trials,
             start=start,
         )
-        i_mask, kill = kill_of(sel.seed)
+        i_masks, kills = kill_of(np.array([sel.seed], dtype=np.int64))
+        i_mask, kill = i_masks[0], kills[0]
         in_mis |= i_mask
         removed |= kill
         g = g.remove_vertices(kill)

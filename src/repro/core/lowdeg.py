@@ -31,8 +31,10 @@ import math
 
 import numpy as np
 
+from ..derand.strategies import select_seed_batch
 from ..graphs.coloring import distance2_coloring
 from ..graphs.graph import Graph
+from ..graphs.kernels import segment_any_block_fn, segment_min_block_fn
 from ..graphs.linegraph import line_graph
 from ..graphs.power import ball_sizes
 from ..hashing.families import make_color_family
@@ -129,7 +131,6 @@ def lowdeg_mis(
         1, int(np.ceil(np.log2(max(graph.m, 2))))
     )
     stride = np.uint64(n + 1)
-    maxkey = np.uint64(2**63 - 1)
 
     while g.m > 0:
         phase += 1
@@ -146,38 +147,58 @@ def lowdeg_mis(
         a_mask, w_a = _a_set_weight(g)
         deg = g.degrees().astype(np.float64)
         live = np.nonzero(deg > 0)[0].astype(np.int64)
-        eu, ev = g.edges_u, g.edges_v
+        nbr_min_fn = segment_min_block_fn(g.indices, g.indptr, n)
+        nbr_any_fn = segment_any_block_fn(g.indices, g.indptr, n)
+        # Color keys fit 32 bits (z < q = O(Delta^4), stride = n + 1): half
+        # the traffic of the generic uint64 key path.
+        key_dtype = (
+            np.uint32 if family.range * (n + 1) + n < 2**32 else np.uint64
+        )
+        stride_k = key_dtype(stride)
+        maxkey_k = key_dtype(np.iinfo(key_dtype).max)
+        live_k = live.astype(key_dtype)
+        # The objective is an integer total of degrees over A; summing via
+        # an integer mat-vec is exact (== the float sum the records report).
+        deg_sel = (g.degrees() * a_mask).astype(np.int64)
 
-        def compute_i_mask(seed: int) -> np.ndarray:
-            z = family.evaluate_colors(seed, colors[live])
-            key_full = np.full(n, maxkey, dtype=np.uint64)
-            key_full[live] = z * stride + live.astype(np.uint64)
-            nbr_min = np.full(n, maxkey, dtype=np.uint64)
-            np.minimum.at(nbr_min, eu, key_full[ev])
-            np.minimum.at(nbr_min, ev, key_full[eu])
-            i_mask = np.zeros(n, dtype=bool)
-            i_mask[live] = key_full[live] < nbr_min[live]
+        def compute_i_masks(seeds: np.ndarray) -> np.ndarray:
+            """bool[S, n]: the phase-``h`` candidate set per trial seed.
+
+            One batched color-hash evaluation plus a block neighbour-min
+            replaces the per-seed ``np.minimum.at`` scatter; rows reduce
+            independently, so each row is bit-identical to a single-seed
+            evaluation.
+            """
+            z = family.evaluate_colors_batch(seeds, colors[live]).astype(key_dtype)
+            key_full = np.full((z.shape[0], n), maxkey_k, dtype=key_dtype)
+            key_full[:, live] = z * stride_k + live_k[None, :]
+            nbr_min = nbr_min_fn(key_full, maxkey_k)
+            i_mask = np.zeros(key_full.shape, dtype=bool)
+            i_mask[:, live] = key_full[:, live] < nbr_min[:, live]
             return i_mask
 
-        def objective(seed: int) -> float:
-            i_mask = compute_i_mask(seed)
-            covered = g.degrees_toward(i_mask) > 0
-            return float(deg[(covered | i_mask) & a_mask].sum())
+        def batch_objective(seeds: np.ndarray) -> np.ndarray:
+            i_mask = compute_i_masks(seeds)
+            covered = nbr_any_fn(i_mask)
+            return ((covered | i_mask) @ deg_sel).astype(np.float64)
 
         target = params.mis_target(w_a)
-        from ..derand.strategies import select_seed
-
+        # Phase-disjoint offsets into the canonical scan order; the scan's
+        # own wrap-around covers [1, start) when a late phase starts deep
+        # in the family, so no region is silently lost.
         start = 1 + ((phase - 1) * params.max_scan_trials) % max(
-            1, family.size - params.max_scan_trials
+            1, family.size - 1
         )
-        sel = select_seed(
+        sel = select_seed_batch(
             family.size,
-            objective,
+            batch_objective,
             strategy="scan" if params.strategy != "best_of" else "best_of",
             target=target,
             max_trials=params.max_scan_trials,
             best_of_k=params.best_of_k,
             start=start,
+            backend=params.seed_backend,
+            chunk_size=params.seed_chunk,
         )
         if not sel.satisfied:
             fidelity.append(
@@ -185,7 +206,7 @@ def lowdeg_mis(
                 f"(best {sel.value:.2f})"
             )
 
-        i_mask = compute_i_mask(sel.seed)
+        i_mask = compute_i_masks(np.array([sel.seed], dtype=np.int64))[0]
         dominated = g.degrees_toward(i_mask) > 0
         kill = i_mask | dominated
         in_mis |= i_mask

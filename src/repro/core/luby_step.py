@@ -26,8 +26,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..derand.strategies import SeedSelection, select_seed
+from ..derand.strategies import BatchObjective, SeedSelection, select_seed_batch
 from ..graphs.graph import Graph
+from ..graphs.kernels import (
+    group_order_indptr,
+    segment_any_block_fn,
+    segment_min_block_fn,
+)
 from ..hashing.families import ProductHashFamily, make_product_family
 from ..hashing.kwise import KWiseHashFamily, make_family
 from ..mpc.context import MPCContext
@@ -65,16 +70,18 @@ def _choose_z_family(
 
 
 def _select(
-    family_size: int, objective, params: Params, target: float
+    family_size: int, batch_objective: BatchObjective, params: Params, target: float
 ) -> SeedSelection:
-    return select_seed(
+    return select_seed_batch(
         family_size,
-        objective,
+        batch_objective,
         strategy=params.strategy,
         target=target,
         max_trials=params.max_scan_trials,
         enumeration_cap=params.enumeration_cap,
         best_of_k=params.best_of_k,
+        backend=params.seed_backend,
+        chunk_size=params.seed_chunk,
     )
 
 
@@ -144,22 +151,35 @@ def luby_matching_step(
     b_v = good.b_mask[vs]
     w_u = deg[us]
     w_v = deg[vs]
+    eids_u64 = eids.astype(np.uint64)
 
-    def objective(seed: int) -> float:
-        z = family.evaluate(seed, eids)
-        key = z * stride + eids.astype(np.uint64)
-        node_min = np.full(g.n, maxkey, dtype=np.uint64)
-        np.minimum.at(node_min, us, key)
-        np.minimum.at(node_min, vs, key)
-        matched = (key == node_min[us]) & (key == node_min[vs])
+    # Incidence grouping of the E* arcs (both orientations), sorted by node:
+    # per-node minima over incident E*-edges become one 2-D reduceat.
+    inc_nodes = np.concatenate([us, vs])
+    inc_pos = np.concatenate(
+        [np.arange(eids.size, dtype=np.int64)] * 2
+    )
+    inc_order, inc_indptr = group_order_indptr(inc_nodes, g.n)
+    node_min_fn = segment_min_block_fn(inc_pos[inc_order], inc_indptr, eids.size)
+
+    def matched_masks(seeds: np.ndarray) -> np.ndarray:
+        """bool[S, |E*|]: the strict-local-minimum matching per trial seed."""
+        z = family.evaluate_batch(seeds, eids)
+        key = z * stride + eids_u64[None, :]
+        node_min = node_min_fn(key, maxkey)
+        return (key == node_min[:, us]) & (key == node_min[:, vs])
+
+    def batch_objective(seeds: np.ndarray) -> np.ndarray:
+        matched = matched_masks(seeds)
         # sum of d(v) over matched B endpoints (keys are unique, so each
         # node is matched by at most one edge).
-        return float(
-            (w_u * (matched & b_u)).sum() + (w_v * (matched & b_v)).sum()
+        return (
+            np.where(matched & b_u[None, :], w_u[None, :], 0.0).sum(axis=1)
+            + np.where(matched & b_v[None, :], w_v[None, :], 0.0).sum(axis=1)
         )
 
     target = params.matching_target(good.weight_b)
-    sel = _select(family.size, objective, params, target)
+    sel = _select(family.size, batch_objective, params, target)
     ctx.charge_seed_fix(family.seed_bits, "luby_seed")
     if not sel.satisfied:
         fidelity.append(
@@ -167,12 +187,7 @@ def luby_matching_step(
             f"(best {sel.value:.2f}); using best seed"
         )
 
-    z = family.evaluate(sel.seed, eids)
-    key = z * stride + eids.astype(np.uint64)
-    node_min = np.full(g.n, maxkey, dtype=np.uint64)
-    np.minimum.at(node_min, us, key)
-    np.minimum.at(node_min, vs, key)
-    matched = (key == node_min[us]) & (key == node_min[vs])
+    matched = matched_masks(np.array([sel.seed], dtype=np.int64))[0]
     matched_eids = eids[matched]
     info = LubyStepInfo(
         selection=sel,
@@ -233,28 +248,36 @@ def luby_mis_step(
     maxkey = np.uint64(2**63 - 1)
 
     w_b = deg  # objective weights d(v)
+    q_u64 = q_ids.astype(np.uint64)
 
-    def compute_i_mask(seed: int) -> np.ndarray:
-        z = family.evaluate(seed, q_ids)
-        key_full = np.full(g.n, maxkey, dtype=np.uint64)
-        key_full[q_ids] = z * stride + q_ids.astype(np.uint64)
-        nbr_min = np.full(g.n, maxkey, dtype=np.uint64)
-        if iu.size:
-            np.minimum.at(nbr_min, iu, key_full[iv])
-            np.minimum.at(nbr_min, iv, key_full[iu])
-        i_mask = np.zeros(g.n, dtype=bool)
-        i_mask[q_ids] = key_full[q_ids] < nbr_min[q_ids]
+    # Q'-internal adjacency (both orientations) sorted by node, for the
+    # per-node neighbour-min; N_v arcs sorted by B-node, for the per-node
+    # "any neighbour joined I" flag.  Both become 2-D reduceat calls.
+    adj_nodes = np.concatenate([iu, iv])
+    adj_nbrs = np.concatenate([iv, iu])
+    adj_order, adj_indptr = group_order_indptr(adj_nodes, g.n)
+    nbr_min_fn = segment_min_block_fn(adj_nbrs[adj_order], adj_indptr, g.n)
+    nb_order, nb_indptr = group_order_indptr(nb_groups, g.n)
+    nb_any_fn = segment_any_block_fn(nb_units[nb_order], nb_indptr, g.n)
+
+    def compute_i_masks(seeds: np.ndarray) -> np.ndarray:
+        """bool[S, n]: the candidate independent set per trial seed."""
+        z = family.evaluate_batch(seeds, q_ids)
+        key_full = np.full((z.shape[0], g.n), maxkey, dtype=np.uint64)
+        key_full[:, q_ids] = z * stride + q_u64[None, :]
+        nbr_min = nbr_min_fn(key_full, maxkey)
+        i_mask = np.zeros(key_full.shape, dtype=bool)
+        i_mask[:, q_ids] = key_full[:, q_ids] < nbr_min[:, q_ids]
         return i_mask
 
-    def objective(seed: int) -> float:
-        i_mask = compute_i_mask(seed)
-        flagged = np.zeros(g.n, dtype=bool)
-        if nb_groups.size:
-            np.logical_or.at(flagged, nb_groups, i_mask[nb_units])
-        return float(w_b[flagged & good.b_mask].sum())
+    def batch_objective(seeds: np.ndarray) -> np.ndarray:
+        i_mask = compute_i_masks(seeds)
+        flagged = nb_any_fn(i_mask)
+        sel_mask = flagged & good.b_mask[None, :]
+        return np.where(sel_mask, w_b[None, :], 0.0).sum(axis=1)
 
     target = params.mis_target(good.weight_b)
-    sel = _select(family.size, objective, params, target)
+    sel = _select(family.size, batch_objective, params, target)
     ctx.charge_seed_fix(family.seed_bits, "luby_seed")
     if not sel.satisfied:
         fidelity.append(
@@ -262,7 +285,7 @@ def luby_mis_step(
             f"(best {sel.value:.2f}); using best seed"
         )
 
-    i_mask = compute_i_mask(sel.seed)
+    i_mask = compute_i_masks(np.array([sel.seed], dtype=np.int64))[0]
     info = LubyStepInfo(
         selection=sel,
         target=target,

@@ -36,6 +36,9 @@ class Params:
     max_scan_trials: int = 512
     best_of_k: int = 64
     enumeration_cap: int = 1 << 16
+    seed_backend: str | None = None  # batched | scalar | None (REPRO_SEED_BACKEND)
+    seed_chunk: int | None = None  # seeds per objective block (REPRO_SEED_CHUNK)
+    seed_scan_workers: int = 0  # >1 enables the process-parallel stage scan
     target_safety: float = 1.0  # multiplies the paper's progress constants
     matching_step_fraction: float = 1.0 / 109.0  # Lemma 13 constant
     mis_step_fraction_per_delta: float = 0.01  # Lemma 21: 0.01 * delta
@@ -56,6 +59,15 @@ class Params:
             raise ValueError("c must be 2 or an even integer >= 4")
         if self.strategy not in ("scan", "conditional_expectation", "best_of"):
             raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.seed_backend is not None and self.seed_backend not in (
+            "batched",
+            "scalar",
+        ):
+            raise ValueError(f"unknown seed backend {self.seed_backend!r}")
+        if self.seed_chunk is not None and self.seed_chunk < 1:
+            raise ValueError("seed_chunk must be >= 1")
+        if self.seed_scan_workers < 0:
+            raise ValueError("seed_scan_workers must be >= 0")
 
     # ------------------------------------------------------------------ #
     # Derived quantities

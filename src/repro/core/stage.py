@@ -23,21 +23,30 @@ algebra, the caller can derive per-node bounds directly from the realised
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..derand.estimators import certified_slacks
-from ..derand.strategies import SeedSelection, select_seed
+from ..derand.strategies import SeedSelection, select_seed_batch
+from ..graphs.kernels import (
+    HAS_SCIPY,
+    group_order_indptr,
+    segment_count_2d,
+    segment_sum_2d,
+)
 from ..hashing.kwise import KWiseHashFamily
 from ..mpc.partition import MachineGrouping
 from .params import Params
 
 __all__ = [
     "MachineGroupSpec",
+    "StageGoodness",
     "StageSearchOutcome",
     "node_level_spec",
     "run_stage_seed_search",
+    "stage_goodness_kernel",
 ]
 
 
@@ -147,6 +156,182 @@ class StageSearchOutcome:
     certified_lambdas: tuple[np.ndarray, ...] = ()
 
 
+#: Seed-block size from which the sparse item-to-machine incidence is built.
+_INCIDENCE_MIN_BLOCK = 16
+
+
+def _build_incidence(indptr: np.ndarray, n_items: int):
+    """Sparse 0/1 machine-by-item matrix (CSR) for machine-sorted items.
+
+    Stored as ``(machines, items)`` so the per-chunk product is a plain
+    ``csr @ dense`` with a C-contiguous right-hand side -- scipy's
+    dense-times-sparse fallback would silently ravel-copy the seed block
+    on every call.
+    """
+    import scipy.sparse as sp
+
+    n_machines = indptr.size - 1
+    return sp.csr_matrix(
+        (
+            np.ones(n_items, dtype=np.int32),
+            (
+                np.repeat(np.arange(n_machines, dtype=np.int64), np.diff(indptr)),
+                np.arange(n_items, dtype=np.int64),
+            ),
+        ),
+        shape=(n_machines, n_items),
+    )
+
+
+def _goodness_counts(
+    family: KWiseHashFamily,
+    threshold: int,
+    prepared: list[list],
+    kappa: float,
+    seeds: np.ndarray,
+) -> np.ndarray:
+    """float64[S]: per-seed count of good machines across all groups.
+
+    ``prepared`` holds per-group ``(unit_sorted, w_sorted, indptr,
+    incidence, mu, base, check_upper, check_lower)`` -- items pre-permuted
+    into machine order so the per-machine sampled totals are one exact
+    integer reduction along the seed axis (the hash is evaluated directly
+    at the permuted unit ids; elementwise evaluation commutes with the
+    permutation).  ``incidence`` is the sparse item-to-machine 0/1 matrix
+    when scipy is available (sampled counts become one int mat-mat
+    product); otherwise a prefix-sum segment counter runs over ``indptr``.
+    Weighted groups sum float64 via ``reduceat``.  Rows reduce
+    independently, so a single-seed call is bit-identical to the
+    corresponding row of a block call (the batched/scalar parity the
+    strategy layer relies on).
+    """
+    good = np.zeros(np.atleast_1d(np.asarray(seeds)).shape[0], dtype=np.float64)
+    for grp in prepared:
+        unit_sorted, w_sorted, indptr, incidence, mu, base, up, lo = grp
+        sampled = family.indicator_batch(seeds, unit_sorted, threshold)
+        lam = kappa * base
+        if w_sorted is not None:
+            got = segment_sum_2d(w_sorted[None, :] * sampled, indptr)
+            ok = np.ones(got.shape, dtype=bool)
+            if up:
+                ok &= got <= mu[None, :] + lam[None, :] + 1e-9
+            if lo:
+                ok &= got >= mu[None, :] - lam[None, :] - 1e-9
+        else:
+            # The sparse incidence pays off on long scans; short scans
+            # (the abundant-good-seeds common case) never build it.  Both
+            # count paths are exact integers, so the choice cannot change
+            # any outcome.
+            if (
+                incidence is None
+                and sampled.shape[0] >= _INCIDENCE_MIN_BLOCK
+                and HAS_SCIPY
+                and unit_sorted.size
+            ):
+                incidence = grp[3] = _build_incidence(indptr, unit_sorted.size)
+            if incidence is not None:
+                # (machines, S) counts; the transposed layout keeps both
+                # matmul operands contiguous (order="C" matters: a plain
+                # astype of the transposed view stays F-ordered and scipy
+                # would ravel-copy it on every call).
+                got_t = incidence @ sampled.T.astype(np.int32, order="C")
+            else:
+                got_t = segment_count_2d(sampled, indptr).T
+            # Integer counts against integer window bounds: identical
+            # outcomes to the float comparisons, without casting the whole
+            # block to float64.
+            ok = np.ones(got_t.shape, dtype=bool)
+            if up:
+                hi_bound = np.floor(mu + lam + 1e-9).astype(np.int32)
+                ok &= got_t <= hi_bound[:, None]
+            if lo:
+                lo_bound = np.ceil(mu - lam - 1e-9).astype(np.int32)
+                ok &= got_t >= lo_bound[:, None]
+            good += ok.sum(axis=0)
+            continue
+        good += ok.sum(axis=1)
+    return good
+
+
+class StageGoodness:
+    """Batched all-machines-good counting kernel for one stage search.
+
+    Precomputes, per group, the stable machine sort order, CSR offsets and
+    sorted weights, then counts good machines for a whole seed block with
+    one ``evaluate_batch`` + one 2-D segment reduction per group.
+    """
+
+    def __init__(
+        self,
+        family: KWiseHashFamily,
+        threshold: int,
+        groups: list[MachineGroupSpec],
+        mus: list[np.ndarray],
+        base_slacks: list[np.ndarray],
+    ) -> None:
+        self.family = family
+        self.threshold = threshold
+        self.prepared: list[list] = []
+        for g, mu, base in zip(groups, mus, base_slacks):
+            order, indptr = group_order_indptr(
+                g.grouping.machine_of_item, g.grouping.num_machines
+            )
+            self.prepared.append(
+                [
+                    g.unit_ids[order],
+                    g.weights[order] if g.weights is not None else None,
+                    indptr,
+                    None,  # incidence: built lazily on the first long scan
+                    mu,
+                    base,
+                    g.check_upper,
+                    g.check_lower,
+                ]
+            )
+
+    def counts(self, seeds: np.ndarray, kappa: float) -> np.ndarray:
+        """float64[S] good-machine counts for a seed block at slack ``kappa``."""
+        return _goodness_counts(
+            self.family, self.threshold, self.prepared, kappa, seeds
+        )
+
+    def payload(self, kappa: float) -> dict:
+        """Picklable payload for :func:`stage_goodness_kernel` workers.
+
+        Incidences are force-built first: each worker evaluates many seed
+        blocks against the shipped payload, and lazily rebuilding the
+        sparse matrix per block would waste the pool's time.
+        """
+        if HAS_SCIPY:
+            for grp in self.prepared:
+                if grp[1] is None and grp[3] is None and grp[0].size:
+                    grp[3] = _build_incidence(grp[2], grp[0].size)
+        return {
+            "q": self.family.q,
+            "k": self.family.k,
+            "threshold": self.threshold,
+            "kappa": kappa,
+            "groups": self.prepared,
+        }
+
+
+def stage_goodness_kernel(payload: dict, seeds: np.ndarray) -> np.ndarray:
+    """Top-level (picklable) goodness kernel for the parallel seed scan.
+
+    Reconstructs the hash family from ``(q, k)`` and runs the exact same
+    counting code as :meth:`StageGoodness.counts`, so worker-evaluated seed
+    blocks are bit-identical to in-process ones.
+    """
+    family = KWiseHashFamily(q=payload["q"], k=payload["k"])
+    return _goodness_counts(
+        family,
+        payload["threshold"],
+        payload["groups"],
+        payload["kappa"],
+        seeds,
+    )
+
+
 def run_stage_seed_search(
     family: KWiseHashFamily,
     prob: float,
@@ -164,6 +349,13 @@ def run_stage_seed_search(
     independent hash function per stage.  (Re-scanning the previous stage's
     region could re-select the seed that defined the current item set, whose
     sampling predicate is idempotent on it and therefore makes no progress.)
+    The scan wraps around past the end of its region, so late stages still
+    cover the whole family before giving up.
+
+    The goodness objective is evaluated in seed blocks (see
+    :class:`StageGoodness`); ``params.seed_scan_workers > 1`` additionally
+    farms the blocks to a process pool with deterministic first-satisfying-
+    seed resolution (same :class:`SeedSelection` as the serial scan).
     """
     threshold = family.threshold(prob)
     p_real = threshold / family.range
@@ -179,19 +371,10 @@ def run_stage_seed_search(
         certified_slacks(g.grouping.loads, p_real) for g in groups
     )
 
-    def goodness_count(seed: int, kappa: float) -> int:
-        good = 0
-        for g, mu, base in zip(groups, mus, base_slacks):
-            sampled = family.evaluate(seed, g.unit_ids) < np.uint64(threshold)
-            got = g.sampled_totals(sampled)
-            lam = kappa * base
-            ok = np.ones(g.grouping.num_machines, dtype=bool)
-            if g.check_upper:
-                ok &= got <= mu + lam + 1e-9
-            if g.check_lower:
-                ok &= got >= mu - lam - 1e-9
-            good += int(ok.sum())
-        return good
+    goodness = StageGoodness(family, threshold, groups, mus, base_slacks)
+    workers = params.seed_scan_workers or int(
+        os.environ.get("REPRO_SEED_WORKERS", "0") or 0
+    )
 
     kappa = float(max(n, 2) ** (0.1 * params.delta_value))
     escalations = 0
@@ -199,14 +382,30 @@ def run_stage_seed_search(
     best: SeedSelection | None = None
     while True:
         kap = kappa  # bind for the closure
-        sel = select_seed(
-            family.size,
-            lambda s: float(goodness_count(s, kap)),
-            strategy="scan",
-            target=float(total_machines),
-            max_trials=params.max_scan_trials,
-            start=max(1, scan_start),  # >= 1 skips the constant-zero hash
-        )
+        if workers > 1:
+            from ..runtime.seed_scan import parallel_scan
+
+            sel = parallel_scan(
+                stage_goodness_kernel,
+                goodness.payload(kap),
+                family.size,
+                target=float(total_machines),
+                max_trials=params.max_scan_trials,
+                start=max(1, scan_start),
+                chunk_size=params.seed_chunk,
+                workers=workers,
+            )
+        else:
+            sel = select_seed_batch(
+                family.size,
+                lambda seeds: goodness.counts(seeds, kap),
+                strategy="scan",
+                target=float(total_machines),
+                max_trials=params.max_scan_trials,
+                start=max(1, scan_start),  # >= 1 skips the constant-zero hash
+                backend=params.seed_backend,
+                chunk_size=params.seed_chunk,
+            )
         trials_total += sel.trials
         if best is None or sel.value > best.value:
             best = sel

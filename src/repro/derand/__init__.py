@@ -8,16 +8,32 @@ from .estimators import (
     slack_for_failure,
     slack_for_failure_array,
 )
-from .strategies import SeedSelection, Strategy, select_seed
+from .strategies import (
+    BatchObjective,
+    ConditionalExpectationError,
+    SeedSelection,
+    Strategy,
+    batched_from_scalar,
+    resolve_seed_backend,
+    resolve_seed_chunk,
+    select_seed,
+    select_seed_batch,
+)
 
 __all__ = [
+    "BatchObjective",
+    "ConditionalExpectationError",
     "SeedSelection",
     "Strategy",
+    "batched_from_scalar",
     "bellare_rompel_bound",
     "certified_slacks",
     "chebyshev_bound",
     "paper_nominal_slack",
+    "resolve_seed_backend",
+    "resolve_seed_chunk",
     "select_seed",
+    "select_seed_batch",
     "slack_for_failure",
     "slack_for_failure_array",
 ]

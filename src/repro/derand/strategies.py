@@ -4,8 +4,8 @@ Every derandomization site in the paper has the same shape: a hash family
 ``H`` and an objective ``q(h)`` with ``E_h[q] >= Q``; the algorithm must
 deterministically find ``h*`` with ``q(h*) >= Q`` in O(1) MPC rounds via the
 method of conditional expectations.  This module provides three
-interchangeable *deterministic* selectors (see DESIGN.md for the fidelity
-discussion):
+interchangeable *deterministic* selectors (see DESIGN.md "Seed selection
+fidelity" for the discussion):
 
 ``conditional_expectation``
     The literal Section-2.4 procedure.  The objective is evaluated for every
@@ -20,12 +20,35 @@ discussion):
     seed whose objective meets an explicit ``target`` (which the existence
     argument guarantees some seed satisfies).  Expected O(1) trials when
     good seeds are abundant -- which the paper's lemmas establish -- and the
-    trial count is returned so benchmarks can report it.  If the trial cap
-    is exhausted the best seed seen is returned with ``satisfied=False``.
+    trial count is returned so benchmarks can report it.  A ``start`` offset
+    rotates the canonical order: the scan covers ``[start, |H|)`` first and
+    then *wraps around* to ``[1, start)`` (seed 0 stays skipped whenever
+    ``start >= 1`` -- it encodes the constant-zero hash), so a start past
+    the end of the family or a late-phase offset never silently shrinks the
+    searched region.  If the trial cap is exhausted the best seed seen is
+    returned with ``satisfied=False``.
 
 ``best_of``
     Evaluate a fixed-size canonical prefix of the family and take the best.
     Cheap, deterministic, no a-priori guarantee; used in ablations.
+
+Batched objectives
+------------------
+The engine underneath all three selectors consumes a :data:`BatchObjective`
+-- ``seeds: int64[S] -> float64[S]`` -- evaluated in fixed-size seed chunks
+with early exit on the first chunk containing a target hit.  Call sites
+provide natively vectorised kernels (one hash ``evaluate_batch`` plus 2-D
+segment reductions per chunk); :func:`select_seed` keeps the scalar
+``Objective`` API by adapting it one seed at a time, and the two paths are
+*bit-identical*: same selected seed, value, trial count, ``satisfied`` flag
+and ``family_mean``, enforced by property tests and the
+``bench_seed_search`` parity gate.
+
+Backend selection mirrors the PR-2 kernel switch: ``backend="batched" |
+"scalar" | None``, where ``None`` resolves through ``REPRO_SEED_BACKEND``
+and defaults to ``"batched"``.  The ``"scalar"`` backend runs the same
+engine with chunk size 1 (lazy, one objective evaluation per trial) and
+exists as the like-for-like baseline / bisection fallback.
 
 The round cost of a selection is charged by the *caller* through the ledger
 (``charge_seed_fix``), because it depends on model constants, not on which
@@ -34,21 +57,77 @@ selector ran.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
 __all__ = [
+    "BatchObjective",
+    "ConditionalExpectationError",
+    "DEFAULT_SEED_CHUNK",
+    "SEED_BACKENDS",
     "SeedSelection",
     "Strategy",
+    "batched_from_scalar",
+    "fold_scan",
+    "iter_seed_blocks",
+    "resolve_seed_backend",
+    "resolve_seed_chunk",
+    "scan_regions",
     "select_seed",
+    "select_seed_batch",
 ]
 
 Strategy = str  # "conditional_expectation" | "scan" | "best_of"
 
 #: Objective: maps a seed (int) to a float score; larger is better.
 Objective = Callable[[int], float]
+
+#: Batched objective: maps an int64 seed block to per-seed float64 scores.
+BatchObjective = Callable[[np.ndarray], np.ndarray]
+
+SEED_BACKENDS = ("batched", "scalar")
+DEFAULT_SEED_BACKEND = "batched"
+DEFAULT_SEED_CHUNK = 64
+
+
+class ConditionalExpectationError(RuntimeError):
+    """The prefix-descent invariant ``q(h*) >= E[q]`` failed.
+
+    This indicates a non-deterministic or mis-specified objective (the
+    descent itself preserves "conditional mean >= global mean" by
+    construction); it is raised as a real exception rather than an
+    ``assert`` so the check survives ``python -O``.
+    """
+
+
+def resolve_seed_backend(backend: str | None = None) -> str:
+    """Resolve an explicit or environment-selected seed-search backend."""
+    resolved = backend or os.environ.get("REPRO_SEED_BACKEND", DEFAULT_SEED_BACKEND)
+    if resolved not in SEED_BACKENDS:
+        raise ValueError(
+            f"unknown seed backend {resolved!r}; expected one of {SEED_BACKENDS}"
+        )
+    return resolved
+
+
+def resolve_seed_chunk(chunk_size: int | None = None) -> int:
+    """Seed-block size for batched evaluation (``REPRO_SEED_CHUNK``)."""
+    resolved = chunk_size or int(os.environ.get("REPRO_SEED_CHUNK", DEFAULT_SEED_CHUNK))
+    if resolved < 1:
+        raise ValueError(f"seed chunk size must be >= 1, got {resolved}")
+    return resolved
+
+
+def batched_from_scalar(objective: Objective) -> BatchObjective:
+    """Adapt a scalar ``Objective`` to the :data:`BatchObjective` protocol."""
+
+    def batch(seeds: np.ndarray) -> np.ndarray:
+        return np.array([objective(int(s)) for s in seeds], dtype=np.float64)
+
+    return batch
 
 
 @dataclass(frozen=True)
@@ -63,15 +142,158 @@ class SeedSelection:
     family_mean: float | None = None  # exact E[q] when it was computed
 
 
-def _evaluate_all(family_size: int, objective: Objective) -> np.ndarray:
+# --------------------------------------------------------------------- #
+# Canonical scan order
+# --------------------------------------------------------------------- #
+
+
+def scan_regions(family_size: int, start: int) -> tuple[list[tuple[int, int]], int]:
+    """Half-open seed ranges covering the canonical (wrapped) scan order.
+
+    The order is ``start, start+1, ..., family_size-1`` followed by the
+    wrap region ``wrap_base, ..., start-1`` where ``wrap_base = 1`` when
+    ``start >= 1`` (preserving the skip-the-constant-zero-hash convention)
+    and ``0`` otherwise.  A ``start`` at or past the end of the family is
+    reduced modulo the scannable span instead of silently clamping the
+    region to a single seed.  Returns ``(regions, normalized_start)``.
+    """
+    if family_size < 1:
+        raise ValueError("empty family")
+    if start < 0:
+        raise ValueError(f"start must be >= 0, got {start}")
+    wrap_base = 1 if start >= 1 else 0
+    span = family_size - wrap_base
+    if span <= 0:  # family is {0} but the caller asked to skip seed 0
+        return [(0, family_size)], 0
+    start = wrap_base + (start - wrap_base) % span
+    regions = [(start, family_size)]
+    if start > wrap_base:
+        regions.append((wrap_base, start))
+    return regions, start
+
+
+#: First block size of the geometric ramp (see :func:`iter_seed_blocks`).
+#: Starting at 1 makes the overwhelmingly common case -- the paper's lemmas
+#: guarantee good seeds are abundant, so scans usually satisfy within the
+#: first seed or two -- cost exactly what the lazy scalar scan costs, while
+#: doubling reaches full vectorisation within ~log2(chunk) blocks.
+RAMP_START = 1
+
+
+def iter_seed_blocks(
+    regions: list[tuple[int, int]], max_trials: int, chunk_size: int
+) -> Iterator[np.ndarray]:
+    """Yield int64 seed blocks along the scan order, ramping up to ``chunk_size``.
+
+    Block sizes start at ``min(RAMP_START, chunk_size)`` and double per
+    block: an early-exit scan evaluates at most twice the trials it would
+    have spent one seed at a time, while long scans reach full
+    ``chunk_size`` vectorisation within a few blocks.  The total
+    number of seeds yielded is capped at ``max_trials``; block boundaries
+    never affect which seeds are visited, only how many are evaluated per
+    objective call.
+    """
+    budget = max_trials
+    size = min(RAMP_START, chunk_size)
+    for lo, hi in regions:
+        s = lo
+        while s < hi and budget > 0:
+            c = min(size, hi - s, budget)
+            yield np.arange(s, s + c, dtype=np.int64)
+            budget -= c
+            s += c
+            size = min(size * 2, chunk_size)
+        if budget <= 0:
+            return
+
+
+# --------------------------------------------------------------------- #
+# Engine: every selector folds (seed block, value block) streams
+# --------------------------------------------------------------------- #
+
+
+def fold_scan(
+    evaluated: Iterable[tuple[np.ndarray, np.ndarray]],
+    target: float,
+    first_seed: int,
+) -> SeedSelection:
+    """Fold evaluated seed blocks (in canonical order) into a scan outcome.
+
+    Deterministic first-satisfying-seed resolution: the first seed in scan
+    order whose value meets ``target`` wins, and ``trials`` counts only the
+    seeds at or before it -- independent of how the stream was chunked or
+    whether later blocks were evaluated speculatively (the parallel scanner
+    reuses this fold for exactly that reason).
+    """
+    best_seed, best_val = first_seed, -np.inf
+    trials = 0
+    for seeds, vals in evaluated:
+        hits = np.nonzero(vals >= target)[0]
+        if hits.size:
+            i = int(hits[0])
+            return SeedSelection(
+                seed=int(seeds[i]),
+                value=float(vals[i]),
+                trials=trials + i + 1,
+                strategy="scan",
+                satisfied=True,
+            )
+        trials += int(seeds.size)
+        if vals.size:
+            j = int(np.argmax(vals))
+            if vals[j] > best_val:
+                best_seed, best_val = int(seeds[j]), float(vals[j])
+    return SeedSelection(
+        seed=best_seed,
+        value=float(best_val),
+        trials=trials,
+        strategy="scan",
+        satisfied=bool(best_val >= target),
+    )
+
+
+def _evaluate_stream(
+    batch_objective: BatchObjective, blocks: Iterator[np.ndarray]
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    for seeds in blocks:
+        vals = np.asarray(batch_objective(seeds), dtype=np.float64)
+        if vals.shape != seeds.shape:
+            raise ValueError(
+                f"batch objective returned shape {vals.shape} for "
+                f"{seeds.size} seeds"
+            )
+        yield seeds, vals
+
+
+def _scan(
+    family_size: int,
+    batch_objective: BatchObjective,
+    target: float,
+    max_trials: int,
+    start: int,
+    chunk_size: int,
+) -> SeedSelection:
+    regions, first_seed = scan_regions(family_size, start)
+    stream = _evaluate_stream(
+        batch_objective, iter_seed_blocks(regions, max_trials, chunk_size)
+    )
+    return fold_scan(stream, target, first_seed)
+
+
+def _evaluate_all(
+    family_size: int, batch_objective: BatchObjective, chunk_size: int
+) -> np.ndarray:
     values = np.empty(family_size, dtype=np.float64)
-    for s in range(family_size):
-        values[s] = objective(s)
+    for seeds, vals in _evaluate_stream(
+        batch_objective,
+        iter_seed_blocks([(0, family_size)], family_size, chunk_size),
+    ):
+        values[seeds[0] : seeds[-1] + 1] = vals
     return values
 
 
 def _conditional_expectation(
-    family_size: int, objective: Objective
+    family_size: int, batch_objective: BatchObjective, chunk_size: int
 ) -> SeedSelection:
     """Prefix-descent with exact conditional expectations.
 
@@ -84,7 +306,7 @@ def _conditional_expectation(
     """
     if family_size < 1:
         raise ValueError("empty family")
-    values = _evaluate_all(family_size, objective)
+    values = _evaluate_all(family_size, batch_objective, chunk_size)
     mean = float(values.mean())
     bits = max(1, (family_size - 1).bit_length())
     lo, hi = 0, family_size  # current consistent interval [lo, hi)
@@ -104,7 +326,11 @@ def _conditional_expectation(
     val = float(values[seed])
     # The probabilistic-method invariant: every descent step preserves
     # "conditional mean >= global mean", so the final seed meets the bound.
-    assert val >= mean - 1e-9, "conditional expectation descent lost the bound"
+    if not val >= mean - 1e-9:
+        raise ConditionalExpectationError(
+            f"conditional expectation descent lost the bound: "
+            f"q(h*) = {val} < E[q] = {mean}"
+        )
     return SeedSelection(
         seed=seed,
         value=val,
@@ -115,40 +341,18 @@ def _conditional_expectation(
     )
 
 
-def _scan(
-    family_size: int,
-    objective: Objective,
-    target: float,
-    max_trials: int,
-    start: int = 0,
+def _best_of(
+    family_size: int, batch_objective: BatchObjective, k: int, chunk_size: int
 ) -> SeedSelection:
-    best_seed, best_val = min(start, family_size - 1), -np.inf
-    trials = 0
-    for s in range(min(start, family_size - 1), min(family_size, start + max_trials)):
-        v = objective(s)
-        trials += 1
-        if v > best_val:
-            best_seed, best_val = s, v
-        if v >= target:
-            return SeedSelection(
-                seed=s, value=float(v), trials=trials, strategy="scan", satisfied=True
-            )
-    return SeedSelection(
-        seed=best_seed,
-        value=float(best_val),
-        trials=trials,
-        strategy="scan",
-        satisfied=bool(best_val >= target),
-    )
-
-
-def _best_of(family_size: int, objective: Objective, k: int) -> SeedSelection:
     k = min(k, family_size)
     best_seed, best_val = 0, -np.inf
-    for s in range(k):
-        v = objective(s)
-        if v > best_val:
-            best_seed, best_val = s, v
+    for seeds, vals in _evaluate_stream(
+        batch_objective, iter_seed_blocks([(0, k)], k, chunk_size)
+    ):
+        if vals.size:
+            j = int(np.argmax(vals))
+            if vals[j] > best_val:
+                best_seed, best_val = int(seeds[j]), float(vals[j])
     return SeedSelection(
         seed=best_seed,
         value=float(best_val),
@@ -156,6 +360,56 @@ def _best_of(family_size: int, objective: Objective, k: int) -> SeedSelection:
         strategy="best_of",
         satisfied=True,
     )
+
+
+# --------------------------------------------------------------------- #
+# Public entry points
+# --------------------------------------------------------------------- #
+
+
+def select_seed_batch(
+    family_size: int,
+    batch_objective: BatchObjective,
+    *,
+    strategy: Strategy = "scan",
+    target: float | None = None,
+    max_trials: int = 512,
+    enumeration_cap: int = 1 << 16,
+    best_of_k: int = 64,
+    start: int = 0,
+    backend: str | None = None,
+    chunk_size: int | None = None,
+) -> SeedSelection:
+    """Deterministically pick a seed using a natively batched objective.
+
+    ``backend="batched"`` evaluates seed blocks of ``chunk_size``;
+    ``backend="scalar"`` runs the identical engine one seed at a time.
+    Both return the same :class:`SeedSelection` bit-for-bit.  ``scan``
+    requires a ``target`` (the value the existence argument guarantees);
+    the other strategies ignore it.  ``start`` rotates the canonical scan
+    order (see :func:`scan_regions`) -- stage searches start at 1 because
+    seed 0 encodes the constant-zero hash (an all-or-nothing sampler that
+    can be vacuously "good" without making progress at finite sizes).
+    """
+    if family_size < 1:
+        raise ValueError("family_size must be >= 1")
+    chunk = 1 if resolve_seed_backend(backend) == "scalar" else resolve_seed_chunk(
+        chunk_size
+    )
+    if strategy == "conditional_expectation":
+        if family_size > enumeration_cap:
+            raise ValueError(
+                f"family of size {family_size} exceeds enumeration cap "
+                f"{enumeration_cap}; use strategy='scan'"
+            )
+        return _conditional_expectation(family_size, batch_objective, chunk)
+    if strategy == "scan":
+        if target is None:
+            raise ValueError("scan strategy requires a target")
+        return _scan(family_size, batch_objective, target, max_trials, start, chunk)
+    if strategy == "best_of":
+        return _best_of(family_size, batch_objective, best_of_k, chunk)
+    raise ValueError(f"unknown strategy {strategy!r}")
 
 
 def select_seed(
@@ -171,26 +425,19 @@ def select_seed(
 ) -> SeedSelection:
     """Deterministically pick a seed from ``[0, family_size)``.
 
-    See the module docstring for the strategies.  ``scan`` requires a
-    ``target`` (the value the existence argument guarantees); the other
-    strategies ignore it.  ``start`` offsets the canonical scan order --
-    stage searches start at 1 because seed 0 encodes the constant-zero hash
-    (an all-or-nothing sampler that can be vacuously "good" without making
-    progress at finite sizes).
+    Scalar-objective adapter around :func:`select_seed_batch`: the
+    objective is evaluated lazily one seed at a time (exactly one call per
+    reported trial), so existing scalar call sites keep their evaluation
+    counts while sharing the batched engine's scan order and semantics.
     """
-    if family_size < 1:
-        raise ValueError("family_size must be >= 1")
-    if strategy == "conditional_expectation":
-        if family_size > enumeration_cap:
-            raise ValueError(
-                f"family of size {family_size} exceeds enumeration cap "
-                f"{enumeration_cap}; use strategy='scan'"
-            )
-        return _conditional_expectation(family_size, objective)
-    if strategy == "scan":
-        if target is None:
-            raise ValueError("scan strategy requires a target")
-        return _scan(family_size, objective, target, max_trials, start)
-    if strategy == "best_of":
-        return _best_of(family_size, objective, best_of_k)
-    raise ValueError(f"unknown strategy {strategy!r}")
+    return select_seed_batch(
+        family_size,
+        batched_from_scalar(objective),
+        strategy=strategy,
+        target=target,
+        max_trials=max_trials,
+        enumeration_cap=enumeration_cap,
+        best_of_k=best_of_k,
+        start=start,
+        backend="scalar",
+    )

@@ -190,6 +190,10 @@ def _first_free_points(g: Graph, evals: np.ndarray, q: int) -> np.ndarray:
     unresolved = g.degrees() > 0  # isolated nodes take x = 0 immediately
     arc_src = np.repeat(np.arange(n, dtype=np.int64), np.diff(g.indptr))
     arc_dst = g.indices
+    # Evaluations live in [0, q); comparing narrow integers quarters the
+    # memory traffic of the (arcs x block) equality grid.
+    if evals.dtype.itemsize > 4:
+        evals = evals.astype(np.int32 if q > np.iinfo(np.int16).max else np.int16)
     block = max(1, min(q, _LINIAL_BLOCK_ELEMS // max(arc_src.size, 1)))
     for x0 in range(0, q, block):
         if not unresolved.any():

@@ -37,11 +37,17 @@ __all__ = [
     "HAS_SCIPY",
     "alive_arc_select",
     "alive_edge_degrees",
+    "group_order_indptr",
     "neighbor_count_toward",
     "neighbor_min",
     "resolve_backend",
+    "segment_any_block_fn",
+    "segment_count_2d",
     "segment_min",
+    "segment_min_2d",
+    "segment_min_block_fn",
     "segment_sum",
+    "segment_sum_2d",
 ]
 
 BACKENDS = ("csr", "legacy")
@@ -99,8 +105,167 @@ def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
 
 
 # ---------------------------------------------------------------------- #
-# Graph-level kernels
+# 2-D (seed-block) segment reductions
+#
+# The batched seed-search engine evaluates a whole block of hash seeds at
+# once, producing ``(S, T)`` value grids whose columns are grouped by the
+# same CSR-style ``indptr`` as the 1-D kernels above.  ``reduceat`` along
+# ``axis=1`` reduces every seed row independently in one pass, so row ``i``
+# of each 2-D kernel is bit-identical to the 1-D kernel applied to row ``i``.
 # ---------------------------------------------------------------------- #
+
+
+def segment_min_2d(values: np.ndarray, indptr: np.ndarray, fill) -> np.ndarray:
+    """Per-segment minimum along axis 1: ``out[s, i] = min(values[s, indptr[i]:indptr[i+1]])``.
+
+    Empty segments yield ``fill``.  Row ``s`` equals
+    ``segment_min(values[s], indptr, fill)``.
+    """
+    n = indptr.size - 1
+    out = np.full((values.shape[0], n), fill, dtype=values.dtype)
+    if values.shape[1] == 0 or n == 0:
+        return out
+    nonempty = indptr[:-1] < indptr[1:]
+    out[:, nonempty] = np.minimum.reduceat(values, indptr[:-1][nonempty], axis=1)
+    return out
+
+
+def segment_sum_2d(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-segment sum along axis 1 (0 when empty); rows reduce independently."""
+    n = indptr.size - 1
+    out = np.zeros((values.shape[0], n), dtype=values.dtype)
+    if values.shape[1] == 0 or n == 0:
+        return out
+    nonempty = indptr[:-1] < indptr[1:]
+    out[:, nonempty] = np.add.reduceat(values, indptr[:-1][nonempty], axis=1)
+    return out
+
+
+def segment_count_2d(mask: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """int32[S, n]: per-segment count of True along axis 1 (0 when empty).
+
+    Exact integer sums via a per-row prefix sum plus boundary differences
+    -- one contiguous pass over the block instead of a ``reduceat`` per
+    segment start, which matters when segments are small and numerous
+    (machine groups, neighbourhood lists).
+    """
+    s, width = mask.shape
+    n = indptr.size - 1
+    if width == 0 or n == 0:
+        return np.zeros((s, n), dtype=np.int32)
+    # Contiguous cumsum (the fast path), then gather the prefix value at
+    # every segment boundary: prefix(j) = cum[:, j-1] with prefix(0) = 0.
+    cum = np.cumsum(mask, axis=1, dtype=np.int32)
+    bounds = cum[:, np.maximum(indptr - 1, 0)]
+    bounds[:, indptr == 0] = 0
+    return bounds[:, 1:] - bounds[:, :-1]
+
+
+def group_order_indptr(
+    groups: np.ndarray, num_groups: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stable sort order plus CSR offsets for an arbitrary grouping array.
+
+    Returns ``(order, indptr)`` with ``groups[order]`` sorted ascending and
+    ``order[indptr[i]:indptr[i+1]]`` the positions of group ``i`` in input
+    order -- the precomputation that turns per-group scatter reductions
+    (``np.minimum.at`` / ``np.add.at`` / ``np.logical_or.at``) into
+    block reductions along the seed axis.
+    """
+    if groups.size == 0 or bool(np.all(groups[1:] >= groups[:-1])):
+        order = np.arange(groups.size, dtype=np.int64)  # already sorted
+    else:
+        order = np.argsort(groups, kind="stable")
+    counts = np.bincount(groups, minlength=num_groups)
+    indptr = np.zeros(num_groups + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return order, indptr
+
+
+#: Padded-table kernels are used while the padded grid is at most this many
+#: times the number of arcs; beyond that (high degree skew) the per-row
+#: scatter fallback wins on memory traffic.
+PAD_FACTOR = 4
+
+
+def _padded_table(
+    cols: np.ndarray, indptr: np.ndarray, sentinel: int
+) -> np.ndarray | None:
+    """(M, w_max) table of ``cols`` positions per segment, or None if too wide.
+
+    Row ``i`` lists ``cols[indptr[i]:indptr[i+1]]`` padded with ``sentinel``.
+    Turning ragged segments into a fixed-width gather lets per-segment
+    min/any reductions run as one contiguous ``.min(axis=2)`` /
+    ``.any(axis=2)`` over the seed block -- the layout numpy actually
+    vectorises, unlike ``reduceat`` with many short segments.
+    """
+    m = indptr.size - 1
+    sizes = np.diff(indptr)
+    w_max = int(sizes.max(initial=0))
+    if w_max == 0 or w_max * m > PAD_FACTOR * max(cols.size, 1):
+        return None
+    table = np.full((m, w_max), sentinel, dtype=np.int64)
+    rank = np.arange(cols.size, dtype=np.int64) - np.repeat(indptr[:-1], sizes)
+    table[np.repeat(np.arange(m, dtype=np.int64), sizes), rank] = cols
+    return table
+
+
+def segment_min_block_fn(cols: np.ndarray, indptr: np.ndarray, width: int):
+    """Build ``f(values, fill) -> (S, M)``: per-segment min of ``values[:, cols]``.
+
+    ``values`` is an ``(S, width)`` seed block; segment ``i`` reduces
+    ``cols[indptr[i]:indptr[i+1]]``.  The returned callable is built once
+    per search (precomputing the padded table or scatter owners) and
+    called once per seed chunk.  Empty segments yield ``fill``; row ``s``
+    equals the scalar per-seed reduction bit-for-bit.
+    """
+    m = indptr.size - 1
+    table = _padded_table(cols, indptr, width)
+    if table is not None:
+
+        def f_padded(values: np.ndarray, fill) -> np.ndarray:
+            ext = np.concatenate(
+                [values, np.full((values.shape[0], 1), fill, dtype=values.dtype)],
+                axis=1,
+            )
+            return ext[:, table].min(axis=2)
+
+        return f_padded
+
+    owners = np.repeat(np.arange(m, dtype=np.int64), np.diff(indptr))
+
+    def f_scatter(values: np.ndarray, fill) -> np.ndarray:
+        out = np.full((values.shape[0], m), fill, dtype=values.dtype)
+        gathered = values[:, cols]
+        for s in range(values.shape[0]):
+            np.minimum.at(out[s], owners, gathered[s])
+        return out
+
+    return f_scatter
+
+
+def segment_any_block_fn(cols: np.ndarray, indptr: np.ndarray, width: int):
+    """Build ``f(mask) -> (S, M)`` bool: per-segment OR of ``mask[:, cols]``.
+
+    Same construction/trade-offs as :func:`segment_min_block_fn`; empty
+    segments yield False.
+    """
+    m = indptr.size - 1
+    table = _padded_table(cols, indptr, width)
+    if table is not None:
+
+        def f_padded(mask: np.ndarray) -> np.ndarray:
+            ext = np.concatenate(
+                [mask, np.zeros((mask.shape[0], 1), dtype=bool)], axis=1
+            )
+            return ext[:, table].any(axis=2)
+
+        return f_padded
+
+    def f_fallback(mask: np.ndarray) -> np.ndarray:
+        return segment_count_2d(mask[:, cols], indptr) > 0
+
+    return f_fallback
 
 
 def neighbor_min(

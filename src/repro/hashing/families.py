@@ -83,6 +83,38 @@ class ProductHashFamily:
         v1 = self.f1.evaluate(s1, xs)
         return v1 * np.uint64(self.f0.q) + v0
 
+    def split_seeds(self, seeds: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`split_seed` over an int64 seed block."""
+        seed_arr = np.atleast_1d(np.asarray(seeds, dtype=np.int64))
+        if seed_arr.size and (
+            int(seed_arr.min()) < 0 or int(seed_arr.max()) >= self.size
+        ):
+            raise ValueError(f"seed out of range [0, {self.size})")
+        if self.f0.size < 2**62:
+            size0 = np.int64(self.f0.size)
+            return seed_arr % size0, seed_arr // size0
+        s0 = np.empty(seed_arr.size, dtype=np.int64)
+        s1 = np.empty(seed_arr.size, dtype=np.int64)
+        for i, s in enumerate(seed_arr.tolist()):  # exact for huge components
+            s0[i], s1[i] = self.split_seed(int(s))
+        return s0, s1
+
+    def evaluate_batch(self, seeds: np.ndarray, xs: np.ndarray | int) -> np.ndarray:
+        """``(S, N)`` uint64 block evaluation; row ``i`` == ``evaluate(seeds[i], xs)``.
+
+        Contiguous seed blocks (the scan case) decompose into a contiguous
+        ``f0`` run and an ``f1`` component that is *constant* until ``s0``
+        wraps around ``f0.size`` -- so the second field is evaluated once
+        per run and broadcast, and ``f0`` takes its own incremental path.
+        """
+        s0, s1 = self.split_seeds(seeds)
+        v0 = self.f0.evaluate_batch(s0, xs)
+        if s1.size > 1 and int(s1[0]) == int(s1[-1]) and bool(np.all(s1 == s1[0])):
+            v1_row = self.f1.evaluate(int(s1[0]), xs)
+            return np.atleast_1d(v1_row)[None, :] * np.uint64(self.f0.q) + v0
+        v1 = self.f1.evaluate_batch(s1, xs)
+        return v1 * np.uint64(self.f0.q) + v0
+
     def threshold(self, prob: float) -> int:
         if not 0.0 <= prob <= 1.0:
             raise ValueError(f"probability must be in [0, 1], got {prob}")
@@ -138,6 +170,10 @@ class ColorHashFamily:
     def evaluate_colors(self, seed: int, colors: np.ndarray) -> np.ndarray:
         """Hash an array of node colors to z-values in ``[q)``."""
         return self.base.evaluate(seed, colors)
+
+    def evaluate_colors_batch(self, seeds: np.ndarray, colors: np.ndarray) -> np.ndarray:
+        """``(S, N)`` uint64 block of color hashes (batched :meth:`evaluate_colors`)."""
+        return self.base.evaluate_batch(seeds, colors)
 
 
 def make_color_family(num_colors: int) -> ColorHashFamily:

@@ -162,6 +162,94 @@ class KWiseHashFamily:
             h = (h * x + np.uint64(a)) % q
         return h
 
+    def evaluate_batch(self, seeds: np.ndarray, xs: np.ndarray | int) -> np.ndarray:
+        """Evaluate ``S`` functions at ``N`` points: returns ``(S, N)`` uint64.
+
+        Generalizes :meth:`evaluate` over a whole seed block (and
+        :meth:`evaluate_many` over many points): row ``i`` equals
+        ``evaluate(seeds[i], xs)`` bit-for-bit.
+
+        Two evaluation tiers:
+
+        * *contiguous seed runs* (what the deterministic scans produce):
+          digit 0 of the seed is the linear coefficient (see the class
+          doc), so ``h_{s+1}(x) = h_s(x) + x  (mod q)`` until the digit
+          rolls over -- one Horner base evaluation per run, then a single
+          add + conditional subtract per further seed, replacing the
+          multiply-mod chain entirely;
+        * arbitrary seed blocks: per-seed coefficient vectors stacked into
+          ``(k, S)`` columns and one Horner recurrence over the ``(S, N)``
+          grid.
+        """
+        seed_arr = np.atleast_1d(np.asarray(seeds, dtype=np.int64))
+        x = np.atleast_1d(_as_uint64(xs))
+        if x.size and int(x.max(initial=0)) >= self.q:
+            raise ValueError("hash input outside field domain; reduce ids first")
+        S = seed_arr.size
+        if S > 1 and int(seed_arr[-1]) - int(seed_arr[0]) == S - 1 and bool(
+            np.all(np.diff(seed_arr) == 1)
+        ):
+            return self._evaluate_contiguous(int(seed_arr[0]), S, x)
+        q = np.uint64(self.q)
+        coeffs = self._stacked_coefficients(seed_arr)
+        h = np.empty((S, x.size), dtype=np.uint64)
+        h[:] = coeffs[self.k - 1][:, None]
+        for j in range(self.k - 2, -1, -1):
+            h = (h * x[None, :] + coeffs[j][:, None]) % q
+        return h
+
+    def _evaluate_contiguous(self, s0: int, count: int, x: np.ndarray) -> np.ndarray:
+        """Incremental evaluation of the contiguous seed run ``[s0, s0+count)``.
+
+        Digit 0 of the seed holds the linear coefficient ``a_1`` when
+        ``k >= 2`` (``a_0`` when ``k == 1``), so stepping the seed by one
+        adds ``x`` (resp. ``1``) to the hash value mod ``q`` -- until the
+        digit rolls over, where a fresh Horner base is computed.  Values
+        stay in ``[0, q)`` throughout, so the reduction is a single
+        compare-and-subtract; the result is bit-identical to per-seed
+        :meth:`evaluate`.
+        """
+        if not (0 <= s0 and s0 + count <= self.size):
+            raise ValueError(f"seed run [{s0}, {s0 + count}) out of range")
+        q = np.uint64(self.q)
+        step = x if self.k >= 2 else np.ones_like(x)
+        out = np.empty((count, x.size), dtype=np.uint64)
+        tmp = np.empty(x.size, dtype=np.uint64)
+        i = 0
+        while i < count:
+            s = s0 + i
+            run = min(count - i, self.q - (s % self.q))
+            out[i] = self.evaluate(s, x)
+            for j in range(i + 1, i + run):
+                # Branch-free mod-q step: t = h + step < 2q, and t - q
+                # wraps around uint64 when t < q, so min(t, t - q) is the
+                # reduced value either way.
+                row = out[j]
+                np.add(out[j - 1], step, out=tmp)
+                np.subtract(tmp, q, out=row)
+                np.minimum(tmp, row, out=row)
+            i += run
+        return out
+
+    def _stacked_coefficients(self, seed_arr: np.ndarray) -> np.ndarray:
+        """Decode a seed block to a ``(k, S)`` uint64 coefficient matrix."""
+        if seed_arr.size and int(seed_arr.min()) < 0:
+            raise ValueError("seeds must be non-negative")
+        if seed_arr.size and int(seed_arr.max()) >= self.size:
+            raise ValueError(f"seed out of range [0, {self.size})")
+        q = np.uint64(self.q)
+        coeffs = np.empty((self.k, seed_arr.size), dtype=np.uint64)
+        if self._powers[self.k - 1] < 2**63:
+            # Digit extraction stays exact in uint64 for every valid seed.
+            s = seed_arr.astype(np.uint64)
+            for digit, idx in enumerate(self._digit_order()):
+                coeffs[idx] = (s // np.uint64(self._powers[digit])) % q
+        else:  # huge families: decode with exact Python ints, seed by seed
+            for i, s in enumerate(seed_arr.tolist()):
+                for idx, a in enumerate(self.coefficients(int(s))):
+                    coeffs[idx, i] = a
+        return coeffs
+
     def evaluate_many(self, seed_values: np.ndarray, x: int) -> np.ndarray:
         """Evaluate many functions at a *single* point ``x``.
 
@@ -179,6 +267,49 @@ class KWiseHashFamily:
         for j in range(self.k - 2, -1, -1):
             h = (h * xs + coeffs[j]) % q
         return h
+
+    def indicator_batch(
+        self, seeds: np.ndarray, xs: np.ndarray | int, threshold: int
+    ) -> np.ndarray:
+        """``(S, N)`` bool block: ``evaluate_batch(seeds, xs) < threshold``.
+
+        For contiguous seed runs the hash rows live in two rotating row
+        buffers and only the boolean indicator is materialised -- the hash
+        matrix itself (8 bytes/cell) never touches memory, which is what
+        makes threshold-sampling scans bandwidth-proportional to the 1-bit
+        output.  Bit-identical to comparing :meth:`evaluate_batch`.
+        """
+        seed_arr = np.atleast_1d(np.asarray(seeds, dtype=np.int64))
+        x = np.atleast_1d(_as_uint64(xs))
+        if x.size and int(x.max(initial=0)) >= self.q:
+            raise ValueError("hash input outside field domain; reduce ids first")
+        S = seed_arr.size
+        t = np.uint64(threshold)
+        if S > 1 and int(seed_arr[-1]) - int(seed_arr[0]) == S - 1 and bool(
+            np.all(np.diff(seed_arr) == 1)
+        ):
+            s0, count = int(seed_arr[0]), S
+            if not (0 <= s0 and s0 + count <= self.size):
+                raise ValueError(f"seed run [{s0}, {s0 + count}) out of range")
+            q = np.uint64(self.q)
+            step = x if self.k >= 2 else np.ones_like(x)
+            out = np.empty((count, x.size), dtype=bool)
+            prev = np.empty(x.size, dtype=np.uint64)
+            tmp = np.empty(x.size, dtype=np.uint64)
+            i = 0
+            while i < count:
+                s = s0 + i
+                run = min(count - i, self.q - (s % self.q))
+                prev[:] = self.evaluate(s, x)
+                np.less(prev, t, out=out[i])
+                for j in range(i + 1, i + run):
+                    np.add(prev, step, out=tmp)
+                    np.subtract(tmp, q, out=prev)
+                    np.minimum(tmp, prev, out=prev)
+                    np.less(prev, t, out=out[j])
+                i += run
+            return out
+        return self.evaluate_batch(seed_arr, x) < t
 
     def threshold(self, prob: float) -> int:
         """Threshold ``t`` such that ``h(x) < t`` has probability ``~prob``.

@@ -1,0 +1,103 @@
+"""Chunk-parallel deterministic seed scan (opt-in runtime for large families).
+
+The batched seed-search engine (:mod:`repro.derand.strategies`) evaluates
+seed blocks serially with early exit.  When a single stage's family scan is
+the wall-clock bottleneck -- huge machine groups, large ``max_scan_trials``
+-- this module farms the same fixed-size seed blocks to the process pool
+machinery the batch runtime already uses (``ProcessPoolExecutor``, as in
+:class:`repro.runtime.scheduler.Scheduler`), then folds the evaluated
+blocks *in canonical scan order* through the exact same
+:func:`~repro.derand.strategies.fold_scan` the serial engine uses.
+
+Determinism: workers may finish out of order and blocks past the first
+satisfying seed are evaluated speculatively, but the fold resolves the
+first satisfying seed in scan order and counts trials as the serial scan
+would -- the returned :class:`~repro.derand.strategies.SeedSelection` is
+bit-identical to a serial ``strategy="scan"`` run of the same objective.
+
+The kernel must be a *top-level* function ``kernel(payload, seeds) ->
+float64[S]`` (picklable by reference) and ``payload`` a picklable dict of
+arrays/scalars; closures over graph state cannot cross process boundaries.
+:func:`repro.core.stage.stage_goodness_kernel` is the canonical instance.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable
+
+import numpy as np
+
+from ..derand.strategies import (
+    SeedSelection,
+    fold_scan,
+    iter_seed_blocks,
+    resolve_seed_chunk,
+    scan_regions,
+)
+
+__all__ = ["parallel_scan"]
+
+#: Kernel protocol: ``(payload, int64 seed block) -> float64 value block``.
+ScanKernel = Callable[[dict, np.ndarray], np.ndarray]
+
+#: Per-worker state installed by the pool initializer: the kernel and its
+#: payload ship once per worker process, not once per submitted block (the
+#: payload carries whole per-group arrays and sparse matrices).
+_worker_state: tuple[ScanKernel, dict] | None = None
+
+
+def _init_worker(kernel: ScanKernel, payload: dict) -> None:
+    global _worker_state
+    _worker_state = (kernel, payload)
+
+
+def _eval_block(lo: int, hi: int) -> np.ndarray:
+    """Worker entry point: evaluate one contiguous seed block."""
+    assert _worker_state is not None, "pool initializer did not run"
+    kernel, payload = _worker_state
+    return np.asarray(
+        kernel(payload, np.arange(lo, hi, dtype=np.int64)), dtype=np.float64
+    )
+
+
+def parallel_scan(
+    kernel: ScanKernel,
+    payload: dict,
+    family_size: int,
+    *,
+    target: float,
+    max_trials: int = 512,
+    start: int = 0,
+    chunk_size: int | None = None,
+    workers: int = 2,
+) -> SeedSelection:
+    """Scan ``[0, family_size)`` for a seed with ``kernel(...) >= target``.
+
+    Seed blocks of ``chunk_size`` (``REPRO_SEED_CHUNK`` when ``None``) are
+    dispatched over ``workers`` processes; results are folded in canonical
+    order with deterministic first-satisfying-seed resolution.  Semantics
+    (wrap-around start, trial accounting, best-seed-on-exhaustion) match
+    the serial batched scan exactly.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    chunk = resolve_seed_chunk(chunk_size)
+    regions, first_seed = scan_regions(family_size, start)
+
+    # Materialise the block boundaries: identical schedule (geometric ramp,
+    # trial budget) to the serial engine's iter_seed_blocks.
+    blocks = [
+        (int(b[0]), int(b[-1]) + 1)
+        for b in iter_seed_blocks(regions, max_trials, chunk)
+    ]
+
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(kernel, payload)
+    ) as pool:
+        futures = [pool.submit(_eval_block, lo, hi) for lo, hi in blocks]
+        evaluated = (
+            (np.arange(lo, hi, dtype=np.int64), fut.result())
+            for (lo, hi), fut in zip(blocks, futures)
+        )
+        return fold_scan(evaluated, target, first_seed)
