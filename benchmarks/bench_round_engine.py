@@ -1,0 +1,214 @@
+"""Columnar vs legacy round-execution core: timing, parity, regression gate.
+
+The columnar core (``repro.models`` + ``MPCEngine.round_packed``) moves
+struct-of-arrays message planes through one argsort + ``searchsorted``
+split per batch; the legacy object path dispatches every message through
+the interpreter.  Both execute the *same* model schedule, so this bench
+asserts bit-identical results (MIS ids, engine rounds, phases, degree
+vectors) and reports the speedup per engine workload:
+
+* ``luby_round_loop``   -- full ``distributed_luby_mis`` on the engine (the
+  per-phase round loop is the hot path this PR vectorises)
+* ``distributed_degrees`` -- the Section-3.1 sort + count skeleton
+* ``sample_sort``       -- the Lemma-4 PSRS sort primitive alone
+
+Modes
+-----
+``--smoke``            small instances (CI-sized, a couple of seconds)
+default (full)         ``n = 10_000`` Luby loop; prints the acceptance line
+                       for the >= 5x columnar-speedup criterion
+``--check PATH``       compare speedups against a baseline JSON; exit 1 on
+                       a > 2x regression of a gated case or any parity
+                       failure (the CI bench-smoke gate)
+``--write-baseline [PATH]``
+                       refresh the checked-in baseline from this run
+
+Artifacts: ``benchmarks/results/BENCH_round_engine.json``; the checked-in
+baseline lives at ``benchmarks/baselines/BENCH_round_engine_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import (  # noqa: E402
+    check_speedup_regression,
+    emit_json,
+    speedup_case,
+    write_speedup_baseline,
+)
+
+from repro.graphs import gnp_random_graph  # noqa: E402
+from repro.mpc import (  # noqa: E402
+    MPCEngine,
+    distributed_degrees,
+    distributed_luby_mis,
+    distributed_sort,
+    distributed_sort_packed,
+)
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "BENCH_round_engine_baseline.json"
+
+#: Fail --check when a case's speedup drops below baseline / this factor.
+REGRESSION_FACTOR = 2.0
+
+#: Cases whose runtimes are large enough for a stable ratio on shared CI
+#: runners; the rest are still run and parity-checked.
+GATED_CASES = ("luby_round_loop", "distributed_degrees")
+
+
+def _case(name, legacy_fn, columnar_fn, same_fn, repeats, meta):
+    return speedup_case(
+        name, legacy_fn, columnar_fn, same_fn, repeats, meta,
+        labels=("legacy", "columnar"),
+    )
+
+
+def _luby_same(a, b):
+    return np.array_equal(a[0], b[0]) and a[1:] == b[1:]
+
+
+def _luby_case(g, machines, space, repeats):
+    return _case(
+        "luby_round_loop",
+        lambda: distributed_luby_mis(g, machines, space, engine_backend="legacy"),
+        lambda: distributed_luby_mis(g, machines, space, engine_backend="columnar"),
+        _luby_same,
+        repeats,
+        {"n": g.n, "m": g.m, "machines": machines, "space": space},
+    )
+
+
+def _degrees_case(g, machines, space, repeats):
+    return _case(
+        "distributed_degrees",
+        lambda: distributed_degrees(g, machines, space, engine_backend="legacy"),
+        lambda: distributed_degrees(g, machines, space, engine_backend="columnar"),
+        lambda a, b: np.array_equal(a[0], b[0]) and a[1] == b[1],
+        repeats,
+        {"n": g.n, "m": g.m, "machines": machines, "space": space},
+    )
+
+
+def _sort_case(num_values, machines, space, repeats):
+    rng = np.random.default_rng(11)
+    values = rng.integers(0, 1 << 40, size=num_values).tolist()
+
+    def legacy():
+        eng = MPCEngine(num_machines=machines, space=space)
+        eng.load_balanced(values)
+        distributed_sort(eng)
+        return eng.all_items()
+
+    def columnar():
+        eng = MPCEngine(num_machines=machines, space=space)
+        eng.load_balanced(values)
+        for mid in range(machines):
+            eng.storage[mid] = [np.asarray(eng.storage[mid], dtype=np.int64)]
+        distributed_sort_packed(eng)
+        return np.concatenate(
+            [it for st in eng.storage for it in st if isinstance(it, np.ndarray)]
+        ).tolist()
+
+    return _case(
+        "sample_sort",
+        legacy,
+        columnar,
+        lambda a, b: a == b,
+        repeats,
+        {"values": num_values, "machines": machines, "space": space},
+    )
+
+
+def run(mode: str, seed: int) -> dict:
+    if mode == "smoke":
+        n, avg_deg, machines, space, repeats = 400, 8, 8, 1 << 13, 3
+        sort_values = 4_000
+    else:
+        n, avg_deg, machines, space, repeats = 10_000, 8, 32, 1 << 17, 3
+        sort_values = 60_000
+    g = gnp_random_graph(n, avg_deg / n, seed=seed)
+    cases = dict(
+        [
+            _luby_case(g, machines, space, repeats),
+            _degrees_case(g, machines, space, repeats),
+            _sort_case(sort_values, machines, space, repeats),
+        ]
+    )
+    return {"mode": mode, "graph": {"n": g.n, "m": g.m}, "cases": cases}
+
+
+def check_regression(payload: dict, baseline_path: Path) -> list[str]:
+    """Gate failures (empty = green); see :func:`check_speedup_regression`."""
+    return check_speedup_regression(
+        payload,
+        baseline_path,
+        GATED_CASES,
+        REGRESSION_FACTOR,
+        "columnar and legacy outputs DIVERGED",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true", help="small CI-sized run")
+    ap.add_argument("--seed", type=int, default=3)
+    ap.add_argument(
+        "--check",
+        metavar="PATH",
+        help="regression-gate against a baseline JSON",
+    )
+    ap.add_argument(
+        "--write-baseline",
+        nargs="?",
+        const=str(BASELINE_PATH),
+        metavar="PATH",
+        help="write this run's speedups as the new baseline",
+    )
+    args = ap.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    payload = run(mode, args.seed)
+
+    width = max(len(k) for k in payload["cases"])
+    print(f"round-engine benchmark [{mode}] on {payload['graph']}")
+    for name, case in payload["cases"].items():
+        print(
+            f"  {name:<{width}}  legacy={case['legacy_s'] * 1e3:9.2f}ms  "
+            f"columnar={case['columnar_s'] * 1e3:9.2f}ms  "
+            f"speedup={case['speedup']:7.2f}x  identical={case['identical']}"
+        )
+    if mode == "full":
+        loop = payload["cases"]["luby_round_loop"]
+        ok = loop["speedup"] >= 5.0
+        payload["acceptance_luby_loop_5x"] = bool(ok)
+        print(
+            f"acceptance: columnar distributed_luby round loop at n=10k is "
+            f"{loop['speedup']:.1f}x (>= 5x required): {'PASS' if ok else 'FAIL'}"
+        )
+        if not ok:
+            return 1
+    emit_json("round_engine", payload)
+
+    if args.write_baseline:
+        write_speedup_baseline(Path(args.write_baseline), payload, GATED_CASES)
+
+    if args.check:
+        problems = check_regression(payload, Path(args.check))
+        if problems:
+            for p in problems:
+                print(f"REGRESSION: {p}", file=sys.stderr)
+            return 1
+        print("regression gate: green")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ Commands
 ``vc``         2-approximate vertex cover
 ``coloring``   (Delta+1)-coloring
 ``demo``       run on a generated G(n, p) without needing an input file
+``crossmodel`` bill one input under MPC / CONGESTED CLIQUE / CONGEST
 ``batch``      run a named workload suite through the parallel runtime
 ``cache``      inspect / clear the content-addressed result cache
 
@@ -15,7 +16,8 @@ Examples::
     python -m repro demo --n 500 --p 0.02 --algo mis
     python -m repro mis graph.edges --eps 0.6 --out mis.txt
     python -m repro matching graph.edges --force lowdeg
-    python -m repro batch --suite scaling-sweep --workers 4
+    python -m repro crossmodel --n 300 --p 0.03 --problem mis
+    python -m repro batch --suite cross-model --workers 4
     python -m repro cache stats
 """
 
@@ -131,6 +133,26 @@ def cmd_coloring(args) -> int:
     print(f"  charged MPC rounds: {res.rounds}")
     _write(args.out, res.colors.tolist())
     return 0 if proper else 1
+
+
+def cmd_crossmodel(args) -> int:
+    from .analysis import cross_model_report
+    from .models import cross_model_run
+
+    g = _load_graph(args)
+    run = cross_model_run(g, args.problem, params=Params(eps=args.eps))
+    text = cross_model_report(run, title=f"cross-model {args.problem} on {g}")
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"  report written to {args.out}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(run.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"  json written to {args.json}")
+    return 0 if run.all_verified else 1
 
 
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
@@ -250,6 +272,23 @@ def build_parser() -> argparse.ArgumentParser:
         fn=lambda a: {"mis": cmd_mis, "matching": cmd_matching,
                       "vc": cmd_vc, "coloring": cmd_coloring}[a.algo](a)
     )
+
+    xm = sub.add_parser(
+        "crossmodel",
+        help="bill one input under MPC / CONGESTED CLIQUE / CONGEST",
+    )
+    xm.add_argument("--input", type=str, default=None,
+                    help="edge-list file (generated G(n, p) otherwise)")
+    xm.add_argument("--n", type=int, default=300)
+    xm.add_argument("--p", type=float, default=0.03)
+    xm.add_argument("--seed", type=int, default=0)
+    xm.add_argument("--eps", type=float, default=0.5)
+    xm.add_argument("--problem", choices=["mis", "matching"], default="mis")
+    xm.add_argument("--out", type=str, default=None,
+                    help="write the report to a file")
+    xm.add_argument("--json", type=str, default=None,
+                    help="write the run record as JSON")
+    xm.set_defaults(fn=cmd_crossmodel)
 
     batch = sub.add_parser(
         "batch", help="run a named workload suite through the parallel runtime"

@@ -1,7 +1,7 @@
 """Analysis: theory bounds, curve fits, and table rendering."""
 
 from .progress import LinearFit, fit_geometric_decay, fit_linear
-from .report import batch_report, run_report
+from .report import batch_report, cross_model_report, run_report
 from .tables import format_row, render_series, render_table
 from .theory import (
     lowdeg_round_bound,
@@ -16,6 +16,7 @@ from .theory import (
 __all__ = [
     "LinearFit",
     "batch_report",
+    "cross_model_report",
     "fit_geometric_decay",
     "fit_linear",
     "format_row",

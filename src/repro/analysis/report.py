@@ -10,6 +10,12 @@ report is as deterministic as the run.
 :func:`batch_report` does the same for a whole runtime batch: per-problem
 aggregates (success rates, cache economics, round/wall-time distributions)
 plus a per-job table, consumed by ``repro batch --report``.
+
+:func:`cross_model_report` renders one
+:class:`~repro.models.crossmodel.CrossModelRun` — the same input billed
+under MPC, CONGESTED CLIQUE and CONGEST — as a unified
+round/communication table, the side-by-side comparison the paper states in
+prose.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ from __future__ import annotations
 from ..core.records import MatchingResult, MISResult
 from .tables import render_table
 
-__all__ = ["batch_report", "run_report"]
+__all__ = ["batch_report", "cross_model_report", "run_report"]
 
 
 def run_report(result: MISResult | MatchingResult, title: str | None = None) -> str:
@@ -201,4 +207,54 @@ def batch_report(results, stats=None, title: str | None = None) -> str:
             )
         lines.append("")
 
+    return "\n".join(lines)
+
+
+def _fmt_ceiling(value) -> str:
+    return str(value) if value is not None else "-"
+
+
+def cross_model_report(run, title: str | None = None) -> str:
+    """Render a cross-model run as a unified round/communication report.
+
+    ``run`` is a :class:`~repro.models.crossmodel.CrossModelRun` (duck-typed
+    to keep analysis import-independent of the models package): one input,
+    one problem, one row per cost model.
+    """
+    lines: list[str] = [
+        f"# {title or f'cross-model {run.problem} report'}",
+        "",
+        f"* input: n={run.graph_n}, m={run.graph_m}",
+        f"* all solutions verified: {'yes' if run.all_verified else 'NO'}",
+        "",
+    ]
+    sizes = dict(run.solution_sizes)
+    rows = []
+    for snap in run.snapshots:
+        top = max(
+            ((k, v) for k, v in snap.by_category.items() if k != "total"),
+            key=lambda kv: kv[1],
+            default=("-", 0),
+        )
+        rows.append(
+            (
+                snap.model,
+                snap.rounds,
+                snap.words_moved if snap.words_moved else "-",
+                _fmt_ceiling(snap.space_ceiling),
+                _fmt_ceiling(snap.bandwidth_ceiling),
+                snap.max_words_seen if snap.max_words_seen else "-",
+                sizes.get(snap.model, "-"),
+                f"{top[0]} ({top[1]})",
+            )
+        )
+    lines.append(
+        render_table(
+            "round / communication bill per model",
+            ["model", "rounds", "words moved", "space ceil", "bw ceil",
+             "max words", "|solution|", "top category"],
+            rows,
+        )
+    )
+    lines.append("")
     return "\n".join(lines)

@@ -32,12 +32,10 @@ import numpy as np
 from ..baselines.greedy import greedy_matching
 from ..derand.strategies import select_seed_batch
 from ..graphs.graph import Graph
-from ..graphs.kernels import (
-    group_order_indptr,
-    segment_any_block_fn,
-    segment_min_block_fn,
-)
+from ..graphs.kernels import group_order_indptr, segment_min_block_fn
 from ..hashing.families import make_product_family
+from ..models.ledger import ModelSnapshot
+from ..models.phase import MAXKEY, LubyPhaseKernel
 from .model import CongestedCliqueContext
 
 __all__ = ["CCResult", "cc_maximal_matching", "cc_mis"]
@@ -53,6 +51,7 @@ class CCResult:
     edge_trace: tuple[int, ...]
     algorithm: str
     collected_remainder_edges: int
+    snapshot: ModelSnapshot | None = None
 
 
 def _phase_target(g: Graph) -> tuple[np.ndarray, float]:
@@ -75,19 +74,20 @@ def cc_mis(
     charge_mode: str = "ours",
     max_scan_trials: int = 512,
     max_phases: int = 10_000,
+    ctx: CongestedCliqueContext | None = None,
 ) -> CCResult:
     """Deterministic MIS in CONGESTED CLIQUE.
 
     ``charge_mode='ours'`` charges O(1) rounds per phase (Corollary 2);
     ``charge_mode='chps'`` charges ``seed_bits`` rounds per phase (the
-    bit-by-bit voting derandomization of [15]'s general path).
+    bit-by-bit voting derandomization of [15]'s general path).  Passing a
+    ``ctx`` lets callers (the cross-model runner, tests) own the ledger.
     """
     if charge_mode not in ("ours", "chps"):
         raise ValueError("charge_mode must be 'ours' or 'chps'")
-    ctx = CongestedCliqueContext(n=graph.n)
+    ctx = ctx or CongestedCliqueContext(n=graph.n)
     family = make_product_family(max(graph.n, 2), k=2)
     stride = np.uint64(graph.n + 1)
-    maxkey = np.uint64(2**63 - 1)
     ids_all = np.arange(graph.n, dtype=np.int64)
 
     in_mis = np.zeros(graph.n, dtype=bool)
@@ -107,18 +107,13 @@ def cc_mis(
 
         a_mask, target = _phase_target(g)
         deg = g.degrees().astype(np.float64)
-        live = deg > 0
         ids_u64 = ids_all.astype(np.uint64)
-        nbr_min_fn = segment_min_block_fn(g.indices, g.indptr, graph.n)
-        nbr_any_fn = segment_any_block_fn(g.indices, g.indptr, graph.n)
+        kernel = LubyPhaseKernel(g, graph.n)
 
         def kill_masks(seeds: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
             """(i_mask, kill) as bool[S, n] blocks for a block of seeds."""
             key = family.evaluate_batch(seeds, ids_all) * stride + ids_u64[None, :]
-            nbr_min = nbr_min_fn(key, maxkey)
-            i_mask = live[None, :] & (key < nbr_min)
-            covered = nbr_any_fn(i_mask)
-            return i_mask, i_mask | covered
+            return kernel.masks(key)
 
         def batch_objective(seeds: np.ndarray) -> np.ndarray:
             _, kill = kill_masks(seeds)
@@ -173,6 +168,7 @@ def cc_mis(
         edge_trace=tuple(trace),
         algorithm=f"cc_mis[{charge_mode}]",
         collected_remainder_edges=remainder_edges,
+        snapshot=ctx.model_snapshot(),
     )
 
 
@@ -182,11 +178,12 @@ def cc_maximal_matching(
     charge_mode: str = "ours",
     max_scan_trials: int = 512,
     max_phases: int = 10_000,
+    ctx: CongestedCliqueContext | None = None,
 ) -> CCResult:
     """Deterministic maximal matching in CONGESTED CLIQUE (Corollary 2)."""
     if charge_mode not in ("ours", "chps"):
         raise ValueError("charge_mode must be 'ours' or 'chps'")
-    ctx = CongestedCliqueContext(n=graph.n)
+    ctx = ctx or CongestedCliqueContext(n=graph.n)
     pairs: list[np.ndarray] = []
     g = graph
     trace: list[int] = []
@@ -201,7 +198,6 @@ def cc_maximal_matching(
         eids = np.arange(g.m, dtype=np.int64)
         eids_u64 = eids.astype(np.uint64)
         stride = np.uint64(g.m + 1)
-        maxkey = np.uint64(2**63 - 1)
         deg = g.degrees().astype(np.float64)
         eu, ev = g.edges_u, g.edges_v
         w_u, w_v = deg[eu], deg[ev]
@@ -214,7 +210,7 @@ def cc_maximal_matching(
 
         def matched_masks(seeds: np.ndarray) -> np.ndarray:
             key = family.evaluate_batch(seeds, eids) * stride + eids_u64[None, :]
-            node_min = node_min_fn(key, maxkey)
+            node_min = node_min_fn(key, MAXKEY)
             return (key == node_min[:, eu]) & (key == node_min[:, ev])
 
         def batch_objective(seeds: np.ndarray) -> np.ndarray:
@@ -268,4 +264,5 @@ def cc_maximal_matching(
         edge_trace=tuple(trace),
         algorithm=f"cc_matching[{charge_mode}]",
         collected_remainder_edges=remainder_edges,
+        snapshot=ctx.model_snapshot(),
     )

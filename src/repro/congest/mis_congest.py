@@ -29,8 +29,9 @@ import numpy as np
 from ..derand.strategies import select_seed_batch
 from ..graphs.coloring import distance2_coloring
 from ..graphs.graph import Graph
-from ..graphs.kernels import segment_any_block_fn, segment_min_block_fn
 from ..hashing.families import make_color_family, make_product_family
+from ..models.ledger import ModelSnapshot
+from ..models.phase import MAXKEY, LubyPhaseKernel
 from .model import CongestContext
 
 __all__ = ["CongestMISResult", "congest_maximal_matching", "congest_mis"]
@@ -47,6 +48,7 @@ class CongestMISResult:
     seed_bits_per_phase: int
     mode: str
     edge_trace: tuple[int, ...]
+    snapshot: ModelSnapshot | None = None
 
 
 def congest_mis(
@@ -55,16 +57,18 @@ def congest_mis(
     mode: str = "color-compressed",
     max_scan_trials: int = 512,
     max_phases: int = 10_000,
+    ctx: CongestContext | None = None,
 ) -> CongestMISResult:
     """Deterministic MIS with CONGEST round accounting.
 
     ``mode`` is ``"voting"`` (id-based seeds, Theta(D log n)/phase) or
     ``"color-compressed"`` (Section-5 style color seeds,
-    Theta(D log Delta)/phase after O(log* n) preprocessing).
+    Theta(D log Delta)/phase after O(log* n) preprocessing).  Passing a
+    ``ctx`` lets callers (the cross-model runner, tests) own the ledger.
     """
     if mode not in ("voting", "color-compressed"):
         raise ValueError("mode must be 'voting' or 'color-compressed'")
-    ctx = CongestContext(graph)
+    ctx = ctx or CongestContext(graph)
     n = graph.n
 
     if mode == "color-compressed" and graph.m > 0:
@@ -83,7 +87,6 @@ def congest_mis(
         fam_size = family.size
 
     stride = np.uint64(n + 1)
-    maxkey = np.uint64(2**63 - 1)
     in_mis = np.zeros(n, dtype=bool)
     removed = np.zeros(n, dtype=bool)
     g = graph
@@ -99,22 +102,16 @@ def congest_mis(
         in_mis |= iso
         removed |= iso
 
-        deg = g.degrees().astype(np.float64)
-        live = np.nonzero(deg > 0)[0].astype(np.int64)
+        kernel = LubyPhaseKernel(g, n)
+        live = np.nonzero(kernel.live)[0].astype(np.int64)
         live_u64 = live.astype(np.uint64)
         eu, ev = g.edges_u, g.edges_v
-        nbr_min_fn = segment_min_block_fn(g.indices, g.indptr, n)
-        nbr_any_fn = segment_any_block_fn(g.indices, g.indptr, n)
 
         def kill_of(seeds: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
             z = evaluate_batch(seeds, keys_of[live])
-            key = np.full((z.shape[0], n), maxkey, dtype=np.uint64)
+            key = np.full((z.shape[0], n), MAXKEY, dtype=np.uint64)
             key[:, live] = z * stride + live_u64[None, :]
-            nbr_min = nbr_min_fn(key, maxkey)
-            i_mask = np.zeros(key.shape, dtype=bool)
-            i_mask[:, live] = key[:, live] < nbr_min[:, live]
-            covered = nbr_any_fn(i_mask)
-            return i_mask, i_mask | covered
+            return kernel.masks(key)
 
         def batch_objective(seeds: np.ndarray) -> np.ndarray:
             _, kill = kill_of(seeds)
@@ -150,6 +147,7 @@ def congest_mis(
         seed_bits_per_phase=seed_bits,
         mode=mode,
         edge_trace=tuple(trace),
+        snapshot=ctx.model_snapshot(),
     )
 
 
@@ -177,6 +175,7 @@ def congest_maximal_matching(
             seed_bits_per_phase=0,
             mode=mode,
             edge_trace=tuple(),
+            snapshot=CongestContext(graph).model_snapshot(),
         )
     lg = line_graph(graph)
     return congest_mis(lg, mode=mode, max_scan_trials=max_scan_trials)

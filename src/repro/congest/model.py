@@ -15,7 +15,11 @@ pays relative to CONGESTED CLIQUE / MPC.
 
 The context below computes the BFS-tree depth of the (connected components
 of the) input once and charges ``upcast``/``downcast`` operations
-accordingly.
+accordingly.  It implements the cross-model
+:class:`~repro.models.ledger.RoundLedgerProtocol`: ``words_moved`` counts
+one word per message, the bandwidth ceiling is ``2 m`` words per round (one
+message per edge direction), and an optional per-node storage ceiling makes
+locality violations raise :class:`~repro.mpc.exceptions.SpaceExceededError`.
 """
 
 from __future__ import annotations
@@ -27,6 +31,8 @@ import scipy.sparse.csgraph as csgraph
 
 from ..graphs.graph import Graph
 from ..graphs.power import adjacency_matrix
+from ..models.ledger import ModelSnapshot
+from ..mpc.exceptions import SpaceExceededError
 from ..mpc.ledger import RoundLedger
 
 __all__ = ["CongestContext", "bfs_depth"]
@@ -58,6 +64,9 @@ class CongestContext:
 
     graph: Graph
     ledger: RoundLedger = field(default_factory=RoundLedger)
+    #: Optional per-node storage ceiling in words (``None`` = unbounded).
+    space_per_node: int | None = None
+    max_words_seen: int = 0
     depth: int = field(init=False)
 
     def __post_init__(self) -> None:
@@ -67,17 +76,63 @@ class CongestContext:
     def rounds(self) -> int:
         return self.ledger.total
 
+    # ------------------------------------------------------------------ #
+    # Cross-model ledger protocol
+    # ------------------------------------------------------------------ #
+
+    @property
+    def words_moved(self) -> int:
+        return self.ledger.words_moved
+
+    @property
+    def space_ceiling(self) -> int | None:
+        return self.space_per_node
+
+    @property
+    def bandwidth_ceiling(self) -> int | None:
+        """One word per edge direction per round: ``2 m`` words."""
+        return 2 * self.graph.m
+
+    def charge(self, category: str, rounds: int = 1, *, words: int = 0) -> None:
+        self.ledger.charge(category, rounds, words=words)
+
+    def rounds_by_category(self) -> dict[str, int]:
+        return dict(self.ledger.by_category)
+
+    def model_snapshot(self) -> ModelSnapshot:
+        return ModelSnapshot(
+            model="congest",
+            rounds=self.rounds,
+            words_moved=self.words_moved,
+            by_category=self.rounds_by_category(),
+            space_ceiling=self.space_per_node,
+            bandwidth_ceiling=self.bandwidth_ceiling,
+            max_words_seen=self.max_words_seen,
+            detail={"n": self.graph.n, "m": self.graph.m, "bfs_depth": self.depth},
+        )
+
+    def observe_node_words(self, node: int, words: int, what: str = "") -> None:
+        """Record a node's storage load; raise past ``space_per_node``."""
+        words = int(words)
+        if self.space_per_node is not None and words > self.space_per_node:
+            raise SpaceExceededError(node, words, self.space_per_node, what)
+        self.max_words_seen = max(self.max_words_seen, words)
+
+    # ------------------------------------------------------------------ #
+    # Model charging primitives
+    # ------------------------------------------------------------------ #
+
     def charge_local(self, category: str = "local") -> None:
         """One message over every edge simultaneously: 1 round."""
-        self.ledger.charge(category, 1)
+        self.ledger.charge(category, 1, words=2 * self.graph.m)
 
     def charge_upcast(self, category: str = "aggregate") -> None:
         """Sum/min of one value per node to the BFS roots: depth rounds."""
-        self.ledger.charge(category, max(1, self.depth))
+        self.ledger.charge(category, max(1, self.depth), words=self.graph.n)
 
     def charge_downcast(self, category: str = "broadcast") -> None:
         """Roots broadcast one value down their trees: depth rounds."""
-        self.ledger.charge(category, max(1, self.depth))
+        self.ledger.charge(category, max(1, self.depth), words=self.graph.n)
 
     def charge_seed_fix(self, seed_bits: int, category: str = "seed_fix") -> None:
         """Conditional expectations in CONGEST: the O(log n)-bit seed is
@@ -91,4 +146,5 @@ class CongestContext:
         model as future work rather than claiming a bound.
         """
         per_bit = 2 * max(1, self.depth)
-        self.ledger.charge(category, per_bit * max(1, seed_bits))
+        bits = max(1, seed_bits)
+        self.ledger.charge(category, per_bit * bits, words=2 * self.graph.n * bits)

@@ -2,9 +2,12 @@
 
 from .derived import (
     ColoringViaMISResult,
+    RulingSetResult,
     VertexCoverResult,
     deterministic_coloring,
+    deterministic_ruling_set,
     deterministic_vertex_cover,
+    is_ruling_set,
     is_vertex_cover,
 )
 from .good_nodes import (
@@ -33,9 +36,12 @@ from .sparsify_nodes import NodeSparsifyResult, sparsify_nodes
 __all__ = [
     "ColoringViaMISResult",
     "EdgeSparsifyResult",
+    "RulingSetResult",
     "VertexCoverResult",
     "deterministic_coloring",
+    "deterministic_ruling_set",
     "deterministic_vertex_cover",
+    "is_ruling_set",
     "is_vertex_cover",
     "GoodNodesMIS",
     "GoodNodesMatching",

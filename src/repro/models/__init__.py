@@ -1,0 +1,58 @@
+"""Columnar round-execution core shared by the three machine-model simulators.
+
+The paper charges one algorithm against three models -- low-space MPC,
+CONGESTED CLIQUE and CONGEST.  This package is the model-generic substrate:
+
+* :mod:`repro.models.plane` -- struct-of-arrays message planes and the
+  argsort + ``searchsorted`` router behind
+  :meth:`repro.mpc.engine.MPCEngine.round_packed`, plus the
+  ``REPRO_ENGINE_BACKEND`` (``columnar`` | ``legacy``) resolver.
+* :mod:`repro.models.ledger` -- the :class:`RoundLedgerProtocol` every
+  simulator implements and the :class:`ModelSnapshot` record the
+  cross-model report renders.
+* :mod:`repro.models.phase` -- the derandomized-Luby phase kernel the
+  clique and CONGEST solvers share.
+* :mod:`repro.models.crossmodel` -- run one problem under all three cost
+  models and collect the snapshots side by side (imported lazily: it pulls
+  in every simulator, and the simulators import this package).
+"""
+
+from .ledger import ModelSnapshot, RoundLedgerProtocol
+from .phase import MAXKEY, LubyPhaseKernel
+from .plane import (
+    DEFAULT_ENGINE_BACKEND,
+    ENGINE_BACKENDS,
+    MessageBlock,
+    Plane,
+    concat_planes,
+    resolve_engine_backend,
+    route_block,
+)
+
+__all__ = [
+    "DEFAULT_ENGINE_BACKEND",
+    "ENGINE_BACKENDS",
+    "MAXKEY",
+    "CrossModelRun",
+    "LubyPhaseKernel",
+    "MessageBlock",
+    "ModelSnapshot",
+    "Plane",
+    "RoundLedgerProtocol",
+    "concat_planes",
+    "cross_model_run",
+    "resolve_engine_backend",
+    "route_block",
+]
+
+_LAZY = ("CrossModelRun", "cross_model_run")
+
+
+def __getattr__(name: str):
+    # crossmodel imports the simulators, which import this package; resolve
+    # its symbols lazily to keep the import graph acyclic.
+    if name in _LAZY:
+        from . import crossmodel
+
+        return getattr(crossmodel, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,94 @@
+"""The shared ``RoundLedger`` protocol unifying the three cost models.
+
+The paper states each algorithm once and charges it against three machine
+models — low-space MPC, CONGESTED CLIQUE and CONGEST.  Before this module
+each simulator kept a hand-rolled charge API; now they all implement one
+protocol:
+
+* ``rounds`` — total rounds charged so far (monotone non-decreasing);
+* ``words_moved`` — total communication volume in ``O(log n)``-bit words
+  (message count × message width for the literal engine; the model's
+  per-primitive message count for the accounting contexts);
+* ``space_ceiling`` / ``bandwidth_ceiling`` — the model's hard limits
+  (``S`` words per machine and per round in MPC; ``n`` messages per node
+  per round in the clique; one word per edge per round in CONGEST), or
+  ``None`` where the model leaves the axis unbounded;
+* ``charge(category, rounds, words=...)`` — per-category accounting;
+* ``model_snapshot()`` — a frozen, JSON-able :class:`ModelSnapshot` that
+  :func:`repro.analysis.report.cross_model_report` renders side by side.
+
+Implementors: :class:`repro.mpc.engine.MPCEngine` (literal message
+passing), :class:`repro.mpc.context.MPCContext` (vectorised accounting),
+:class:`repro.cclique.model.CongestedCliqueContext` and
+:class:`repro.congest.model.CongestContext`.  The protocol is
+``runtime_checkable`` so tests can assert conformance structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+__all__ = ["ModelSnapshot", "RoundLedgerProtocol"]
+
+
+@dataclass(frozen=True)
+class ModelSnapshot:
+    """One model's round/communication bill, in a model-agnostic shape."""
+
+    model: str  # "mpc" | "mpc-engine" | "congested-clique" | "congest"
+    rounds: int
+    words_moved: int
+    by_category: dict[str, int] = field(default_factory=dict)
+    space_ceiling: int | None = None
+    bandwidth_ceiling: int | None = None
+    max_words_seen: int = 0
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "rounds": self.rounds,
+            "words_moved": self.words_moved,
+            "by_category": dict(self.by_category),
+            "space_ceiling": self.space_ceiling,
+            "bandwidth_ceiling": self.bandwidth_ceiling,
+            "max_words_seen": self.max_words_seen,
+            "detail": dict(self.detail),
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "ModelSnapshot":
+        return ModelSnapshot(
+            model=d["model"],
+            rounds=int(d["rounds"]),
+            words_moved=int(d["words_moved"]),
+            by_category={k: int(v) for k, v in d.get("by_category", {}).items()},
+            space_ceiling=d.get("space_ceiling"),
+            bandwidth_ceiling=d.get("bandwidth_ceiling"),
+            max_words_seen=int(d.get("max_words_seen", 0)),
+            detail=dict(d.get("detail", {})),
+        )
+
+
+@runtime_checkable
+class RoundLedgerProtocol(Protocol):
+    """What every model simulator exposes to the cross-model layer."""
+
+    @property
+    def rounds(self) -> int: ...
+
+    @property
+    def words_moved(self) -> int: ...
+
+    @property
+    def space_ceiling(self) -> int | None: ...
+
+    @property
+    def bandwidth_ceiling(self) -> int | None: ...
+
+    def charge(self, category: str, rounds: int = 1, *, words: int = 0) -> None: ...
+
+    def rounds_by_category(self) -> dict[str, int]: ...
+
+    def model_snapshot(self) -> ModelSnapshot: ...

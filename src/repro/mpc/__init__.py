@@ -2,12 +2,17 @@
 
 from .context import MPCContext
 from .distributed_graph import distributed_degrees, distributed_node_aggregate
-from .distributed_luby import distributed_luby_mis
+from .distributed_luby import distributed_luby_mis, packed_arc_plane
 from .engine import MPCEngine, word_size
 from .exceptions import CapacityExceededError, MPCModelError, SpaceExceededError
 from .ledger import RoundCosts, RoundLedger, SpaceTracker
 from .partition import MachineGrouping, chunk_items_by_group
-from .primitives import broadcast_word, distributed_prefix_sums, distributed_sort
+from .primitives import (
+    broadcast_word,
+    distributed_prefix_sums,
+    distributed_sort,
+    distributed_sort_packed,
+)
 
 __all__ = [
     "CapacityExceededError",
@@ -26,5 +31,7 @@ __all__ = [
     "distributed_node_aggregate",
     "distributed_prefix_sums",
     "distributed_sort",
+    "distributed_sort_packed",
+    "packed_arc_plane",
     "word_size",
 ]

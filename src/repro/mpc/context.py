@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from ..models.ledger import ModelSnapshot
 from .ledger import RoundCosts, RoundLedger, SpaceTracker
 
 __all__ = ["MPCContext"]
@@ -91,6 +92,46 @@ class MPCContext:
 
     def assert_fits(self, words: int, what: str = "") -> None:
         self.space.observe_single(-1, words, what)
+
+    # ------------------------------------------------------------------ #
+    # Cross-model ledger protocol
+    # ------------------------------------------------------------------ #
+
+    @property
+    def words_moved(self) -> int:
+        return self.ledger.words_moved
+
+    @property
+    def space_ceiling(self) -> int | None:
+        return self.S
+
+    @property
+    def bandwidth_ceiling(self) -> int | None:
+        """Per-round send/receive cap: ``S`` words per machine."""
+        return self.S
+
+    def charge(self, category: str, rounds: int = 1, *, words: int = 0) -> None:
+        self.ledger.charge(category, rounds, words=words)
+
+    def rounds_by_category(self) -> dict[str, int]:
+        return dict(self.ledger.by_category)
+
+    def model_snapshot(self) -> ModelSnapshot:
+        return ModelSnapshot(
+            model="mpc",
+            rounds=self.ledger.total,
+            words_moved=self.words_moved,
+            by_category=self.rounds_by_category(),
+            space_ceiling=self.S,
+            bandwidth_ceiling=self.S,
+            max_words_seen=self.space.max_machine_words,
+            detail={
+                "n": self.n,
+                "m": self.m,
+                "eps": self.eps,
+                "num_machines": self.num_machines,
+            },
+        )
 
     # ------------------------------------------------------------------ #
     # Charging helpers (delegate to the ledger with model constants)

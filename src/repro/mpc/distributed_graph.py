@@ -29,23 +29,35 @@ from typing import Any, Callable
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..graphs.io import packed_arc_plane
+from ..models.plane import MessageBlock, concat_planes, resolve_engine_backend
 from .engine import MPCEngine
-from .primitives import distributed_sort
+from .primitives import distributed_sort, distributed_sort_packed
 
 __all__ = ["distributed_degrees", "distributed_node_aggregate"]
 
 
 def _load_arcs(engine: MPCEngine, g: Graph) -> None:
     """Distribute the directed arc list (encoded as integers) evenly."""
-    n = max(g.n, 1)
-    fwd = g.edges_u * n + g.edges_v
-    bwd = g.edges_v * n + g.edges_u
-    arcs = np.concatenate([fwd, bwd]).tolist()
-    engine.load_balanced([int(a) for a in arcs])
+    engine.load_balanced([int(a) for a in packed_arc_plane(g).tolist()])
+
+
+def _load_arcs_packed(engine: MPCEngine, g: Graph) -> None:
+    """Same contiguous split, but each machine holds one packed slice."""
+    engine.load_balanced_packed(packed_arc_plane(g))
+
+
+def _harvest_pairs(engine: MPCEngine, tag: str, n: int) -> np.ndarray:
+    """Sum per-node partials from ``tag`` planes across all machines."""
+    out = np.zeros(n, dtype=np.int64)
+    for st in engine.storage:
+        pairs = concat_planes(st, tag, 2)
+        np.add.at(out, pairs[:, 0], pairs[:, 1])
+    return out
 
 
 def distributed_degrees(
-    g: Graph, num_machines: int, space: int
+    g: Graph, num_machines: int, space: int, *, engine_backend: str | None = None
 ) -> tuple[np.ndarray, int]:
     """Compute all vertex degrees with real message passing.
 
@@ -53,6 +65,8 @@ def distributed_degrees(
     errors if the configuration genuinely cannot support the computation --
     the caller picks ``M``/``S`` like an MPC deployment would.
     """
+    if resolve_engine_backend(engine_backend) == "columnar":
+        return _distributed_degrees_columnar(g, num_machines, space)
     engine = MPCEngine(num_machines=num_machines, space=space)
     _load_arcs(engine, g)
     rounds0 = engine.rounds_executed
@@ -86,18 +100,53 @@ def distributed_degrees(
     return degrees, engine.rounds_executed - rounds0
 
 
+def _distributed_degrees_columnar(
+    g: Graph, num_machines: int, space: int
+) -> tuple[np.ndarray, int]:
+    """The same 4-round schedule over packed planes (identical charges)."""
+    engine = MPCEngine(num_machines=num_machines, space=space)
+    _load_arcs_packed(engine, g)
+    rounds0 = engine.rounds_executed
+    distributed_sort_packed(engine)
+    n = max(g.n, 1)
+    m_machines = engine.num_machines
+
+    def count_step(mid: int, items: list[Any]):
+        arcs = next(it for it in items if isinstance(it, np.ndarray))
+        blocks = []
+        if arcs.size:
+            nodes, counts = np.unique(arcs // n, return_counts=True)
+            blocks.append(
+                MessageBlock(
+                    "deg",
+                    nodes % m_machines,
+                    np.stack([nodes, counts.astype(np.int64)], axis=1),
+                )
+            )
+        return [], blocks
+
+    engine.round_packed(count_step)
+    return _harvest_pairs(engine, "deg", g.n), engine.rounds_executed - rounds0
+
+
 def distributed_node_aggregate(
     g: Graph,
     arc_value: Callable[[int, int], float],
     num_machines: int,
     space: int,
     scale: int = 10**6,
+    *,
+    engine_backend: str | None = None,
 ) -> tuple[np.ndarray, int]:
     """Per-node sums ``out[v] = sum_{u ~ v} arc_value(v, u)`` on the engine.
 
     Values are fixed-point encoded (``scale`` ticks per unit) so messages
     stay integral words.  Same 4-round skeleton as degree computation.
     """
+    if resolve_engine_backend(engine_backend) == "columnar":
+        return _distributed_node_aggregate_columnar(
+            g, arc_value, num_machines, space, scale
+        )
     engine = MPCEngine(num_machines=num_machines, space=space)
     _load_arcs(engine, g)
     rounds0 = engine.rounds_executed
@@ -128,4 +177,51 @@ def distributed_node_aggregate(
         for item in engine.storage[mid]:
             if isinstance(item, tuple) and item[0] == "agg":
                 out[item[1]] += item[2] / scale
+    return out, engine.rounds_executed - rounds0
+
+
+def _distributed_node_aggregate_columnar(
+    g: Graph,
+    arc_value: Callable[[int, int], float],
+    num_machines: int,
+    space: int,
+    scale: int,
+) -> tuple[np.ndarray, int]:
+    engine = MPCEngine(num_machines=num_machines, space=space)
+    _load_arcs_packed(engine, g)
+    rounds0 = engine.rounds_executed
+    distributed_sort_packed(engine)
+    n = max(g.n, 1)
+    m_machines = engine.num_machines
+
+    def agg_step(mid: int, items: list[Any]):
+        arcs = next(it for it in items if isinstance(it, np.ndarray))
+        blocks = []
+        if arcs.size:
+            src, dst = np.divmod(arcs, n)
+            # ``arc_value`` is a caller-supplied scalar function (the model
+            # contract); fixed-point rounding matches the object path so
+            # both backends harvest identical integer partials.
+            vals = np.fromiter(
+                (
+                    int(round(arc_value(int(s), int(d)) * scale))
+                    for s, d in zip(src.tolist(), dst.tolist())
+                ),
+                dtype=np.int64,
+                count=arcs.size,
+            )
+            order = np.argsort(src, kind="stable")
+            s_sorted = src[order]
+            starts = np.nonzero(
+                np.concatenate([[True], s_sorted[1:] != s_sorted[:-1]])
+            )[0]
+            nodes = s_sorted[starts]
+            sums = np.add.reduceat(vals[order], starts)
+            blocks.append(
+                MessageBlock("agg", nodes % m_machines, np.stack([nodes, sums], axis=1))
+            )
+        return [], blocks
+
+    engine.round_packed(agg_step)
+    out = _harvest_pairs(engine, "agg", g.n).astype(np.float64) / scale
     return out, engine.rounds_executed - rounds0

@@ -24,14 +24,24 @@ capacity checks): the request/response pattern needs roughly
 ``n / M + M <= S`` and ``Delta``-independent message counts hold because
 each machine sends at most one query per distinct endpoint it stores.
 
-Backends: under the default ``csr`` backend each machine stores its arc set
-as one packed int64 array (same word cost, see
-:func:`~repro.mpc.engine.word_size`) and every per-arc loop -- z-value
-evaluation, per-source minima, endpoint gathering, dead-arc filtering --
-runs as whole-array numpy kernels.  ``backend="legacy"`` keeps the original
-item-per-arc Python loops.  Both backends exchange identical messages in
-identical order, so round counts, capacity checks and the returned MIS
-match exactly.
+Backends: two independent switches select how the run executes.
+
+* The *engine* backend (``engine_backend="columnar" | "legacy"``, resolved
+  through ``REPRO_ENGINE_BACKEND``, default ``columnar``) picks the round
+  core.  ``columnar`` runs every step through
+  :meth:`~repro.mpc.engine.MPCEngine.round_packed`: per-machine state and
+  every message batch are struct-of-arrays planes, routed with one stable
+  argsort + ``searchsorted`` split per batch -- interpreter cost per round
+  is per *batch*, not per message.  ``legacy`` keeps the object-granular
+  step functions.
+* Under the legacy engine, the *kernel* backend (``backend="csr" |
+  "legacy"``, via ``REPRO_KERNEL_BACKEND``) picks whole-array vs per-arc
+  local computation, exactly as before.  Passing ``backend`` explicitly
+  pins the object engine path so the historical comparisons keep working.
+
+All paths exchange the same message multiset each round and charge the
+same words, so round counts, capacity checks, ledger totals and the
+returned MIS match exactly.
 """
 
 from __future__ import annotations
@@ -42,12 +52,14 @@ from typing import Any
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..graphs.io import packed_arc_plane
 from ..graphs.kernels import resolve_backend
 from ..hashing.kwise import KWiseHashFamily, make_family
+from ..models.plane import MessageBlock, Plane, concat_planes, resolve_engine_backend
 from .engine import MPCEngine
 from .primitives import broadcast_word
 
-__all__ = ["distributed_luby_mis"]
+__all__ = ["distributed_luby_mis", "packed_arc_plane"]
 
 
 def _home(node: int, num_machines: int) -> int:
@@ -61,6 +73,9 @@ def distributed_luby_mis(
     *,
     max_phases: int = 200,
     backend: str | None = None,
+    engine_backend: str | None = None,
+    arc_plane: np.ndarray | None = None,
+    stats_out: dict | None = None,
 ) -> tuple[np.ndarray, int, int]:
     """Run Luby MIS end-to-end on the engine.
 
@@ -68,10 +83,271 @@ def distributed_luby_mis(
     ``1 + t * 7919 mod |H|`` -- any fixed schedule works; local minima exist
     for every hash, so progress never stalls).  Returns
     ``(mis_node_ids, total_engine_rounds, phases)``.
+
+    ``arc_plane`` may carry a precomputed
+    :func:`~repro.graphs.io.packed_arc_plane` (e.g. the buffer the runtime
+    scheduler shipped); it must describe ``g``.  When ``stats_out`` is a
+    dict, the engine's :class:`~repro.models.ledger.ModelSnapshot` is
+    stored under ``stats_out["snapshot"]`` after the run (the return tuple
+    stays stable for existing callers).
     """
+    if arc_plane is None:
+        arc_plane = packed_arc_plane(g)
+    if engine_backend is None and backend is not None:
+        engine = "legacy"  # explicit kernel backend pins the object path
+    else:
+        engine = resolve_engine_backend(engine_backend)
+    if engine == "columnar":
+        return _distributed_luby_mis_columnar(
+            g, num_machines, space, max_phases, arc_plane, stats_out
+        )
     if resolve_backend(backend) == "legacy":
-        return _distributed_luby_mis_legacy(g, num_machines, space, max_phases)
-    return _distributed_luby_mis_vectorized(g, num_machines, space, max_phases)
+        return _distributed_luby_mis_legacy(
+            g, num_machines, space, max_phases, arc_plane, stats_out
+        )
+    return _distributed_luby_mis_vectorized(
+        g, num_machines, space, max_phases, arc_plane, stats_out
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Columnar backend: packed planes routed by the engine's argsort core
+# ---------------------------------------------------------------------- #
+
+
+def _last_wins(keys: np.ndarray, vals: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-key value of the *last* occurrence (sorted unique keys).
+
+    Mirrors the object path's dict-comprehension semantics, where a fresh
+    ``(key, value)`` appended after a stale one overwrites it.
+    """
+    rk, rv = keys[::-1], vals[::-1]
+    uk, idx = np.unique(rk, return_index=True)
+    return uk, rv[idx]
+
+
+def _lookup_bits(table: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """``dict.get(v, 0)`` over a ``(k, 2)`` last-wins table, vectorised."""
+    if table.shape[0] == 0:
+        return np.zeros(queries.shape[0], dtype=np.int64)
+    uk, uv = _last_wins(table[:, 0], table[:, 1])
+    pos = np.minimum(np.searchsorted(uk, queries), uk.size - 1)
+    return np.where(uk[pos] == queries, uv[pos], 0)
+
+
+def _pairs(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.stack(
+        [a.astype(np.int64, copy=False), b.astype(np.int64, copy=False)], axis=1
+    )
+
+
+def _distributed_luby_mis_columnar(
+    g: Graph,
+    num_machines: int,
+    space: int,
+    max_phases: int,
+    arc_plane: np.ndarray,
+    stats_out: dict | None = None,
+) -> tuple[np.ndarray, int, int]:
+    engine = MPCEngine(num_machines=num_machines, space=space)
+    n = max(g.n, 1)
+    # Contiguous per-machine arc slices (identical word count to loading
+    # the scalars item-by-item; local representation, no round charge).
+    engine.load_balanced_packed(arc_plane)
+
+    family: KWiseHashFamily = make_family(universe=n, k=2)
+    m_machines = engine.num_machines
+    in_mis = np.zeros(g.n, dtype=bool)
+    decided = np.zeros(g.n, dtype=bool)
+    rounds0 = engine.rounds_executed
+    phases = 0
+
+    def toks(items: list[Any]) -> list[Any]:
+        return [it for it in items if isinstance(it, tuple)]
+
+    def planes_except(items: list[Any], *drop: str) -> list[Plane]:
+        return [
+            it for it in items if isinstance(it, Plane) and it.tag not in drop
+        ]
+
+    def has_arcs() -> bool:
+        return any(
+            bool(it.size)
+            for st in engine.storage
+            for it in st
+            if isinstance(it, np.ndarray)
+        )
+
+    while has_arcs():
+        phases += 1
+        if phases > max_phases:
+            raise RuntimeError("distributed Luby failed to converge")
+        seed = (1 + phases * 7919) % family.size
+        broadcast_word(engine, seed)
+
+        # ---- step 2: min-z partials to home machines ------------------ #
+        def minz_step(mid: int, items: list[Any]):
+            arcs = _machine_arcs(items)
+            keep = [arcs] + toks(items) + planes_except(items)
+            blocks = []
+            if arcs.size:
+                src, dst = np.divmod(arcs, n)
+                srcs, zmins = _group_minima(src, _keyed_z(family, seed, dst, n))
+                blocks.append(
+                    MessageBlock("minz", srcs % m_machines, _pairs(srcs, zmins))
+                )
+            return keep, blocks
+
+        engine.round_packed(minz_step)
+
+        # ---- step 3: home machines decide membership in I ------------- #
+        def decide_step(mid: int, items: list[Any]):
+            keep = (
+                [_machine_arcs(items)]
+                + toks(items)
+                + planes_except(items, "minz")
+            )
+            mz = concat_planes(items, "minz", 2)
+            if mz.shape[0]:
+                vs, zmin = _group_minima(mz[:, 0], mz[:, 1])
+                bits = _keyed_z(family, seed, vs, n) < zmin.astype(np.uint64)
+                keep.append(Plane("inI", _pairs(vs, bits)))
+            return keep, []
+
+        engine.round_packed(decide_step)
+
+        # ---- step 4a: arc holders query in-I bits ---------------------- #
+        def query_step(mid: int, items: list[Any]):
+            arcs = _machine_arcs(items)
+            keep = [arcs] + toks(items) + planes_except(items)
+            blocks = []
+            if arcs.size:
+                src, dst = np.divmod(arcs, n)
+                wanted = np.unique(np.concatenate([src, dst]))
+                blocks.append(
+                    MessageBlock(
+                        "q",
+                        wanted % m_machines,
+                        _pairs(wanted, np.full(wanted.size, mid, dtype=np.int64)),
+                    )
+                )
+            return keep, blocks
+
+        engine.round_packed(query_step)
+
+        def answer_step(mid: int, items: list[Any]):
+            keep = [_machine_arcs(items)] + toks(items) + planes_except(items, "q")
+            q = concat_planes(items, "q", 2)
+            blocks = []
+            if q.shape[0]:
+                bits = _lookup_bits(concat_planes(items, "inI", 2), q[:, 0])
+                blocks.append(MessageBlock("a", q[:, 1], _pairs(q[:, 0], bits)))
+            return keep, blocks
+
+        engine.round_packed(answer_step)
+
+        # ---- step 4b: dominated partials back to homes ----------------- #
+        def dominated_step(mid: int, items: list[Any]):
+            arcs = _machine_arcs(items)
+            answers = concat_planes(items, "a", 2)
+            keep = [arcs] + toks(items) + planes_except(items, "a", "minz")
+            keep.append(Plane("a", answers))
+            blocks = []
+            if arcs.size and answers.shape[0]:
+                src, dst = np.divmod(arcs, n)
+                chosen = answers[answers[:, 1] != 0, 0]
+                dom_srcs = np.unique(src[np.isin(dst, chosen)])
+                if dom_srcs.size:
+                    blocks.append(
+                        MessageBlock(
+                            "dom",
+                            dom_srcs % m_machines,
+                            _pairs(dom_srcs, np.ones(dom_srcs.size, dtype=np.int64)),
+                        )
+                    )
+            return keep, blocks
+
+        engine.round_packed(dominated_step)
+
+        # ---- step 5: homes finalise killed bits; holders re-query ------ #
+        def finalize_step(mid: int, items: list[Any]):
+            # The broadcast token dies here: the object path rebuilds its
+            # keep list from the partial dicts, dropping passthrough tuples.
+            keep: list[Any] = [_machine_arcs(items)]
+            ii = concat_planes(items, "inI", 2)
+            keep.append(Plane("a", concat_planes(items, "a", 2)))
+            if ii.shape[0]:
+                vs, bits = _last_wins(ii[:, 0], ii[:, 1])
+                dom_vs = np.unique(concat_planes(items, "dom", 2)[:, 0])
+                killed = (bits != 0) | np.isin(vs, dom_vs)
+                keep.append(Plane("inI", _pairs(vs, bits)))
+                keep.append(Plane("killed", _pairs(vs, killed)))
+            return keep, []
+
+        engine.round_packed(finalize_step)
+
+        def kill_query_step(mid: int, items: list[Any]):
+            arcs = _machine_arcs(items)
+            keep = [arcs] + toks(items) + planes_except(items)
+            blocks = []
+            if arcs.size:
+                src, dst = np.divmod(arcs, n)
+                wanted = np.unique(np.concatenate([src, dst]))
+                blocks.append(
+                    MessageBlock(
+                        "kq",
+                        wanted % m_machines,
+                        _pairs(wanted, np.full(wanted.size, mid, dtype=np.int64)),
+                    )
+                )
+            return keep, blocks
+
+        engine.round_packed(kill_query_step)
+
+        def kill_answer_and_filter(mid: int, items: list[Any]):
+            # The answer planes die here, exactly like the object path's
+            # keep filter.
+            keep = [_machine_arcs(items)] + [
+                it
+                for it in items
+                if isinstance(it, Plane) and it.tag in ("killed", "inI")
+            ]
+            kq = concat_planes(items, "kq", 2)
+            blocks = []
+            if kq.shape[0]:
+                bits = _lookup_bits(concat_planes(items, "killed", 2), kq[:, 0])
+                blocks.append(MessageBlock("ka", kq[:, 1], _pairs(kq[:, 0], bits)))
+            return keep, blocks
+
+        engine.round_packed(kill_answer_and_filter)
+
+        def filter_step(mid: int, items: list[Any]):
+            arcs = _machine_arcs(items)
+            keep = planes_except(items, "ka")
+            if arcs.size:
+                ka = concat_planes(items, "ka", 2)
+                dead = ka[ka[:, 1] != 0, 0]
+                src, dst = np.divmod(arcs, n)
+                arcs = arcs[~(np.isin(src, dead) | np.isin(dst, dead))]
+            return [arcs] + keep, []
+
+        engine.round_packed(filter_step)
+
+        # Harvest decisions (observation only; no engine communication).
+        for mid in range(m_machines):
+            ii = concat_planes(engine.storage[mid], "inI", 2)
+            chosen = ii[ii[:, 1] != 0, 0]
+            in_mis[chosen] = True
+            decided[chosen] = True
+            kk = concat_planes(engine.storage[mid], "killed", 2)
+            decided[kk[kk[:, 1] != 0, 0]] = True
+
+    # Undecided nodes are isolated in the residual graph: they join the MIS.
+    in_mis |= ~decided
+    total_rounds = engine.rounds_executed - rounds0
+    if stats_out is not None:
+        stats_out["snapshot"] = engine.model_snapshot()
+    return np.nonzero(in_mis)[0].astype(np.int64), total_rounds, phases
 
 
 # ---------------------------------------------------------------------- #
@@ -102,17 +378,18 @@ def _group_minima(src: np.ndarray, vals: np.ndarray):
 
 
 def _distributed_luby_mis_vectorized(
-    g: Graph, num_machines: int, space: int, max_phases: int
+    g: Graph,
+    num_machines: int,
+    space: int,
+    max_phases: int,
+    arc_plane: np.ndarray,
+    stats_out: dict | None = None,
 ) -> tuple[np.ndarray, int, int]:
     engine = MPCEngine(num_machines=num_machines, space=space)
     n = max(g.n, 1)
-    fwd = g.edges_u * n + g.edges_v
-    bwd = g.edges_v * n + g.edges_u
-    engine.load_balanced([int(a) for a in np.concatenate([fwd, bwd]).tolist()])
-    # Pack each machine's arc block into one array (identical word count;
-    # this is local representation, not communication, so no round charge).
-    for mid in range(engine.num_machines):
-        engine.storage[mid] = [np.asarray(engine.storage[mid], dtype=np.int64)]
+    # Contiguous per-machine arc slices (identical word count to loading
+    # the scalars item-by-item; local representation, no round charge).
+    engine.load_balanced_packed(arc_plane)
 
     family: KWiseHashFamily = make_family(universe=n, k=2)
     m_machines = engine.num_machines
@@ -365,6 +642,8 @@ def _distributed_luby_mis_vectorized(
     # Undecided nodes are isolated in the residual graph: they join the MIS.
     in_mis |= ~decided
     total_rounds = engine.rounds_executed - rounds0
+    if stats_out is not None:
+        stats_out["snapshot"] = engine.model_snapshot()
     return np.nonzero(in_mis)[0].astype(np.int64), total_rounds, phases
 
 
@@ -374,13 +653,16 @@ def _distributed_luby_mis_vectorized(
 
 
 def _distributed_luby_mis_legacy(
-    g: Graph, num_machines: int, space: int, max_phases: int
+    g: Graph,
+    num_machines: int,
+    space: int,
+    max_phases: int,
+    arc_plane: np.ndarray,
+    stats_out: dict | None = None,
 ) -> tuple[np.ndarray, int, int]:
     engine = MPCEngine(num_machines=num_machines, space=space)
     n = max(g.n, 1)
-    fwd = g.edges_u * n + g.edges_v
-    bwd = g.edges_v * n + g.edges_u
-    engine.load_balanced([int(a) for a in np.concatenate([fwd, bwd]).tolist()])
+    engine.load_balanced([int(a) for a in arc_plane.tolist()])
 
     family: KWiseHashFamily = make_family(universe=n, k=2)
     m_machines = engine.num_machines
@@ -618,4 +900,6 @@ def _distributed_luby_mis_legacy(
     # Undecided nodes are isolated in the residual graph: they join the MIS.
     in_mis |= ~decided
     total_rounds = engine.rounds_executed - rounds0
+    if stats_out is not None:
+        stats_out["snapshot"] = engine.model_snapshot()
     return np.nonzero(in_mis)[0].astype(np.int64), total_rounds, phases

@@ -13,8 +13,23 @@ themselves run against the vectorised accounting layer
 (:mod:`repro.mpc.context`) for speed; both layers share the same model
 constants so the round/space numbers agree.
 
+Two round-execution backends share every model check:
+
+* :meth:`MPCEngine.round` -- the object-granular path: a step maps
+  ``(machine, items)`` to kept items plus ``(dest, item)`` message pairs,
+  and the engine dispatches each message individually.
+* :meth:`MPCEngine.round_packed` -- the columnar path: a step maps
+  ``(machine, items)`` to kept items plus
+  :class:`~repro.models.plane.MessageBlock` batches; the engine routes each
+  batch with one stable argsort + ``searchsorted`` split, so interpreter
+  cost is per *batch*, not per message.  Word charges are bit-identical to
+  sending the same rows as tuples.
+
 Storage granularity: each stored item costs ``word_size(item)`` words, where
-scalars cost 1 and tuples cost their length.
+scalars cost 1 and containers cost the recursive word count of their
+contents.  The engine also implements the cross-model
+:class:`~repro.models.ledger.RoundLedgerProtocol` (rounds, words moved,
+ceilings, per-category charges).
 """
 
 from __future__ import annotations
@@ -24,7 +39,10 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..models.ledger import ModelSnapshot
+from ..models.plane import MessageBlock, Plane, route_block
 from .exceptions import CapacityExceededError, SpaceExceededError
+from .ledger import RoundLedger
 
 __all__ = ["MPCEngine", "word_size"]
 
@@ -32,14 +50,19 @@ __all__ = ["MPCEngine", "word_size"]
 def word_size(item: Any) -> int:
     """Number of machine words an item occupies.
 
-    Tuples/lists cost their length and scalars cost 1.  A numpy array costs
-    one word per element: algorithms may store a machine's whole scalar
-    buffer as a single packed array (the vectorised simulators do this for
-    their arc sets), and the space accounting must be identical to storing
-    the same scalars item-by-item.
+    Scalars cost 1; tuples/lists cost the *recursive* word count of their
+    contents (a tuple is a record, and a record holding an array holds the
+    array's words -- charging ``len(tuple)`` would let an algorithm smuggle
+    arbitrarily large payloads inside 3-word messages).  A numpy array
+    costs one word per element, and a :class:`~repro.models.plane.Plane`
+    costs ``rows * (width + 1)`` -- identical to storing its rows as
+    ``(tag, *row)`` tuples item-by-item, so the columnar and object
+    backends are charged the same words for the same state.
     """
     if isinstance(item, (tuple, list)):
-        return len(item)
+        return sum(word_size(x) for x in item)
+    if isinstance(item, Plane):
+        return item.word_cost
     if isinstance(item, np.ndarray):
         return int(item.size)
     return 1
@@ -48,6 +71,12 @@ def word_size(item: Any) -> int:
 #: A step function maps (machine_id, local_items) to
 #: (items_to_keep, [(dest_machine, item), ...]).
 StepFn = Callable[[int, list[Any]], tuple[list[Any], list[tuple[int, Any]]]]
+
+#: The columnar variant maps (machine_id, local_items) to
+#: (items_to_keep, [MessageBlock, ...]); rows destined to the sender are
+#: kept locally (never charged as communication), exactly like a legacy
+#: step appending its own-home messages to ``keep``.
+PackedStepFn = Callable[[int, list[Any]], tuple[list[Any], list[MessageBlock]]]
 
 
 @dataclass
@@ -59,6 +88,7 @@ class MPCEngine:
     rounds_executed: int = 0
     storage: list[list[Any]] = field(default_factory=list)
     max_load_seen: int = 0
+    ledger: RoundLedger = field(default_factory=RoundLedger)
 
     def __post_init__(self) -> None:
         if self.num_machines < 1:
@@ -69,6 +99,47 @@ class MPCEngine:
             self.storage = [[] for _ in range(self.num_machines)]
 
     # ------------------------------------------------------------------ #
+    # Cross-model ledger protocol
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rounds(self) -> int:
+        """Total charged rounds: one per executed round (:meth:`round` /
+        :meth:`round_packed` charge the ledger) plus any manual charges."""
+        return self.ledger.total
+
+    @property
+    def words_moved(self) -> int:
+        return self.ledger.words_moved
+
+    @property
+    def space_ceiling(self) -> int | None:
+        return self.space
+
+    @property
+    def bandwidth_ceiling(self) -> int | None:
+        """Per-round send/receive cap: ``S`` words per machine."""
+        return self.space
+
+    def charge(self, category: str, rounds: int = 1, *, words: int = 0) -> None:
+        self.ledger.charge(category, rounds, words=words)
+
+    def rounds_by_category(self) -> dict[str, int]:
+        return dict(self.ledger.by_category)
+
+    def model_snapshot(self) -> ModelSnapshot:
+        return ModelSnapshot(
+            model="mpc-engine",
+            rounds=self.rounds,
+            words_moved=self.words_moved,
+            by_category=self.rounds_by_category(),
+            space_ceiling=self.space,
+            bandwidth_ceiling=self.space,
+            max_words_seen=self.max_load_seen,
+            detail={"num_machines": self.num_machines},
+        )
+
+    # ------------------------------------------------------------------ #
     # Input loading / inspection
     # ------------------------------------------------------------------ #
 
@@ -76,18 +147,36 @@ class MPCEngine:
         """Distribute input items across machines in contiguous blocks,
         ``ceil(N / M)`` per machine (the model's arbitrary initial split).
 
-        Loading new input starts a fresh computation: the round counter and
-        the space high-water mark are reset, so an engine instance can be
-        reused across demonstrations without stale accounting.
+        Loading new input starts a fresh computation: the round counter,
+        the ledger and the space high-water mark are reset, so an engine
+        instance can be reused across demonstrations without stale
+        accounting.
         """
         self.rounds_executed = 0
         self.max_load_seen = 0
+        self.ledger = RoundLedger(costs=self.ledger.costs)
         data = list(items)
         per = -(-len(data) // self.num_machines) if data else 0
         for mid in range(self.num_machines):
             block = data[mid * per : (mid + 1) * per]
             self._check_store(mid, block)
             self.storage[mid] = block
+
+    def load_balanced_packed(self, values: np.ndarray) -> None:
+        """:meth:`load_balanced` for a packed scalar array: each machine
+        receives one contiguous int64 slice instead of a list of boxed
+        ints.  Word charges and the contiguous ``ceil(N / M)`` split are
+        identical; interpreter cost is ``O(M)`` instead of ``O(N)``.
+        """
+        self.rounds_executed = 0
+        self.max_load_seen = 0
+        self.ledger = RoundLedger(costs=self.ledger.costs)
+        data = np.asarray(values, dtype=np.int64)
+        per = -(-data.size // self.num_machines) if data.size else 0
+        for mid in range(self.num_machines):
+            block = data[mid * per : (mid + 1) * per]
+            self._check_store(mid, [block])
+            self.storage[mid] = [block]
 
     def machine_load(self, mid: int) -> int:
         return sum(word_size(x) for x in self.storage[mid])
@@ -106,10 +195,10 @@ class MPCEngine:
         self.max_load_seen = max(self.max_load_seen, words)
 
     # ------------------------------------------------------------------ #
-    # Round execution
+    # Round execution: object-granular backend
     # ------------------------------------------------------------------ #
 
-    def round(self, step: StepFn) -> None:
+    def round(self, step: StepFn, category: str = "round") -> None:
         """Run one synchronous round with full capacity checking.
 
         Every machine's step executes on its pre-round storage; messages are
@@ -118,6 +207,7 @@ class MPCEngine:
         """
         keeps: list[list[Any]] = []
         inboxes: list[list[Any]] = [[] for _ in range(self.num_machines)]
+        total_sent = 0
         for mid in range(self.num_machines):
             keep, sends = step(mid, list(self.storage[mid]))
             sent_words = sum(word_size(msg) for _, msg in sends)
@@ -128,6 +218,7 @@ class MPCEngine:
                     raise ValueError(f"message to nonexistent machine {dest}")
                 inboxes[dest].append(msg)
             keeps.append(keep)
+            total_sent += sent_words
         for mid in range(self.num_machines):
             recv_words = sum(word_size(msg) for msg in inboxes[mid])
             if recv_words > self.space:
@@ -136,3 +227,62 @@ class MPCEngine:
             self._check_store(mid, new_store)
             self.storage[mid] = new_store
         self.rounds_executed += 1
+        self.ledger.charge(category, 1, words=total_sent)
+
+    # ------------------------------------------------------------------ #
+    # Round execution: columnar backend
+    # ------------------------------------------------------------------ #
+
+    def round_packed(self, step: PackedStepFn, category: str = "round") -> None:
+        """One synchronous round over packed message blocks.
+
+        Model semantics are identical to :meth:`round` -- same send /
+        receive / storage ceilings, same destination validation, same
+        delivery timing -- but a block's rows are counted, routed and
+        delivered as arrays.  Rows a machine addresses to itself are split
+        off into kept :class:`~repro.models.plane.Plane`s before routing,
+        mirroring the object path's convention of appending own-home
+        messages to ``keep`` (they are storage, not communication).
+        """
+        m = self.num_machines
+        keeps: list[list[Any]] = []
+        inboxes: list[list[Any]] = [[] for _ in range(m)]
+        total_sent = 0
+        for mid in range(m):
+            keep, blocks = step(mid, list(self.storage[mid]))
+            sent_words = 0
+            outgoing: list[MessageBlock] = []
+            for blk in blocks:
+                if blk.rows == 0:
+                    continue
+                self_rows = blk.dest == mid
+                if self_rows.any():
+                    kept = blk.data[self_rows]
+                    keep.append(
+                        kept[:, 0] if blk.tag == "" else Plane(blk.tag, kept)
+                    )
+                    if not self_rows.all():
+                        ext = ~self_rows
+                        blk = MessageBlock(blk.tag, blk.dest[ext], blk.data[ext])
+                    else:
+                        continue
+                sent_words += blk.rows * blk.words_per_row
+                outgoing.append(blk)
+            if sent_words > self.space:
+                raise CapacityExceededError(mid, sent_words, self.space, "sent")
+            for blk in outgoing:
+                for dest, plane in route_block(blk, m):
+                    inboxes[dest].append(
+                        plane.data[:, 0] if blk.tag == "" else plane
+                    )
+            keeps.append(keep)
+            total_sent += sent_words
+        for mid in range(m):
+            recv_words = sum(word_size(p) for p in inboxes[mid])
+            if recv_words > self.space:
+                raise CapacityExceededError(mid, recv_words, self.space, "received")
+            new_store = keeps[mid] + inboxes[mid]
+            self._check_store(mid, new_store)
+            self.storage[mid] = new_store
+        self.rounds_executed += 1
+        self.ledger.charge(category, 1, words=total_sent)

@@ -64,19 +64,30 @@ class RoundCosts:
 
 @dataclass
 class RoundLedger:
-    """Accumulates charged MPC rounds, tagged by category."""
+    """Accumulates charged MPC rounds, tagged by category.
+
+    ``words_moved`` tracks communication volume alongside rounds: call
+    sites that know how many ``O(log n)``-bit words a charged primitive
+    moved pass it through ``charge(..., words=...)``; accounting-only call
+    sites leave it at 0.  This is the backing store for the cross-model
+    :class:`~repro.models.ledger.RoundLedgerProtocol`.
+    """
 
     costs: RoundCosts = field(default_factory=RoundCosts)
     total: int = 0
     by_category: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     events: list[tuple[str, int]] = field(default_factory=list)
+    words_moved: int = 0
 
-    def charge(self, category: str, rounds: int) -> None:
+    def charge(self, category: str, rounds: int, *, words: int = 0) -> None:
         if rounds < 0:
             raise ValueError("cannot charge negative rounds")
+        if words < 0:
+            raise ValueError("cannot charge negative words")
         self.total += rounds
         self.by_category[category] += rounds
         self.events.append((category, rounds))
+        self.words_moved += words
 
     # Convenience wrappers keeping call sites declarative -------------- #
 

@@ -66,7 +66,7 @@ class CacheEntry:
 
     key: str
     job: dict  # stored JobResult dict (summary of the original solve)
-    result_meta: dict | None  # records payload meta for MIS/matching
+    result_meta: dict | None  # payload meta: records (MIS/matching) or snapshot
     npz_path: Path
 
     def arrays(self) -> dict[str, np.ndarray]:
@@ -74,9 +74,18 @@ class CacheEntry:
             return {name: z[name].copy() for name in z.files}
 
     def load_result(self):
-        """Rebuild the full MISResult / MatchingResult (if one was stored)."""
+        """Rebuild the stored result object (if one was stored).
+
+        MIS / matching jobs rebuild their full result record; cross-model
+        jobs (cc_mis / congest_mis / engine_mis) stored the run's
+        :class:`~repro.models.ledger.ModelSnapshot` instead.
+        """
         if self.result_meta is None:
             return None
+        if self.result_meta.get("kind") == "model_snapshot":
+            from ..models.ledger import ModelSnapshot
+
+            return ModelSnapshot.from_dict(self.result_meta["model_snapshot"])
         return result_from_payload(self.result_meta, self.arrays())
 
 

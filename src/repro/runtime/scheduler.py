@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from ..graphs.graph import Graph
 from ..graphs.io import graph_fingerprint, graph_to_npz_bytes
 from .cache import ResultCache
-from .spec import GraphSource, JobResult, JobSpec
+from .spec import ENGINE_PROBLEMS, GraphSource, JobResult, JobSpec
 from .worker import run_job
 
 __all__ = ["BatchResult", "BatchStats", "Scheduler"]
@@ -161,8 +161,14 @@ class Scheduler:
         The npz payload carries the CSR adjacency buffers, so every worker
         reconstructs the graph through the validated
         :meth:`~repro.graphs.graph.Graph.from_csr_arrays` fast path instead
-        of re-sorting the edge list once per job.
+        of re-sorting the edge list once per job.  Sources feeding
+        engine-model jobs additionally ship the packed arc plane the
+        columnar round core loads from, packed once here rather than once
+        per worker.
         """
+        wants_arcs = {
+            spec.source for spec in specs if spec.problem in ENGINE_PROBLEMS
+        }
         resolved: dict[GraphSource, tuple[Graph, str, bytes] | Exception] = {}
         for spec in specs:
             if spec.source in resolved:
@@ -172,7 +178,11 @@ class Scheduler:
                 resolved[spec.source] = (
                     g,
                     graph_fingerprint(g),
-                    graph_to_npz_bytes(g, include_csr=True),
+                    graph_to_npz_bytes(
+                        g,
+                        include_csr=True,
+                        include_arc_plane=spec.source in wants_arcs,
+                    ),
                 )
             except Exception as exc:  # structured parent-side failure
                 resolved[spec.source] = exc

@@ -29,10 +29,25 @@ from ..graphs.graph import Graph
 from ..graphs.io import read_edge_list
 from ..core.params import Params
 
-__all__ = ["GraphSource", "JobResult", "JobSpec", "PROBLEMS"]
+__all__ = ["ENGINE_PROBLEMS", "GraphSource", "JobResult", "JobSpec", "PROBLEMS"]
 
-#: Problems the runtime can dispatch (Theorem 1 primitives + derived).
-PROBLEMS = ("mis", "matching", "vc", "coloring")
+#: Problems the runtime can dispatch: the Theorem-1 primitives, the
+#: ``core.derived`` corollaries (vertex cover, coloring, 2-ruling set), and
+#: the cross-model runs (CONGESTED CLIQUE, CONGEST, the literal MPC engine).
+PROBLEMS = (
+    "mis",
+    "matching",
+    "vc",
+    "coloring",
+    "ruling2",
+    "cc_mis",
+    "congest_mis",
+    "engine_mis",
+)
+
+#: Problems that execute on the literal MPC engine; the scheduler ships
+#: these jobs the packed arc plane alongside the CSR buffers.
+ENGINE_PROBLEMS = ("engine_mis",)
 
 #: Generator names a GraphSource may reference (resolved lazily so specs
 #: stay importable without building anything).

@@ -14,9 +14,13 @@ Built-ins:
   Theorem-1 dispatch boundary (``Delta^2 + 1 <= S``) in ``core/api.py``,
   plus pinned-path pairs on both sides of it.
 * ``derived-problems`` — every ``core.derived`` corollary (vertex cover,
-  (Delta+1)-coloring) over heterogeneous inputs.
+  (Delta+1)-coloring, 2-ruling set) over heterogeneous inputs.
 * ``throughput-micro`` — twenty small, fixed G(n, p) solves; the standard
   workload for scheduler/cache throughput benchmarking.
+* ``cross-model`` — the same inputs solved under every cost model (MPC
+  accounting, the literal MPC engine, CONGESTED CLIQUE, CONGEST) plus the
+  2-ruling-set reduction; the workload behind the unified cross-model
+  round/communication report.
 """
 
 from __future__ import annotations
@@ -131,6 +135,28 @@ def _derived_problems() -> list[JobSpec]:
         JobSpec("coloring", src, tag=f"coloring-{label}")
         for label, src in color_inputs
     ]
+    # 2-ruling set squares the graph (degree <= Delta^2), so reuse the
+    # degree-bounded coloring inputs.
+    specs += [
+        JobSpec("ruling2", src, tag=f"ruling2-{label}")
+        for label, src in color_inputs
+    ]
+    return specs
+
+
+def _cross_model() -> list[JobSpec]:
+    # Inputs stay small: the CONGEST bill scales with BFS depth and the
+    # engine run moves real messages, so this suite is about breadth of
+    # models, not input size.
+    inputs = [
+        ("gnp", GraphSource.generator("gnp_random_graph", n=220, p=0.03, seed=9)),
+        ("reg6", GraphSource.generator("random_regular_graph", n=200, d=6, seed=9)),
+        ("grid", GraphSource.generator("grid_graph", rows=14, cols=14)),
+    ]
+    specs = []
+    for label, src in inputs:
+        for problem in ("mis", "cc_mis", "congest_mis", "engine_mis", "ruling2"):
+            specs.append(JobSpec(problem, src, tag=f"{problem}-{label}"))
     return specs
 
 
@@ -169,5 +195,12 @@ register_suite(
         "throughput-micro",
         "20 small fixed G(n, p) solves for scheduler/cache benchmarking",
         _throughput_micro,
+    )
+)
+register_suite(
+    WorkloadSuite(
+        "cross-model",
+        "same inputs under MPC / engine / CLIQUE / CONGEST + 2-ruling set",
+        _cross_model,
     )
 )

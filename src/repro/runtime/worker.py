@@ -27,14 +27,20 @@ import numpy as np
 from ..core.api import maximal_independent_set, maximal_matching, uses_lowdeg_path
 from ..core.derived import (
     deterministic_coloring,
+    deterministic_ruling_set,
     deterministic_vertex_cover,
+    is_ruling_set,
     is_vertex_cover,
 )
 from ..core.records import result_to_payload
 from ..graphs.graph import Graph
-from ..graphs.io import graph_fingerprint, graph_from_npz_bytes
+from ..graphs.io import (
+    arc_plane_from_npz_bytes,
+    graph_fingerprint,
+    graph_from_npz_bytes,
+)
 from ..verify import verify_matching_pairs, verify_mis_nodes
-from .spec import JobSpec
+from .spec import ENGINE_PROBLEMS, JobSpec
 
 __all__ = ["execute_spec", "run_job"]
 
@@ -47,11 +53,14 @@ def _raise_timeout(signum, frame):  # pragma: no cover - signal plumbing
     raise JobTimeout()
 
 
-def execute_spec(spec: JobSpec, graph: Graph) -> dict:
+def execute_spec(
+    spec: JobSpec, graph: Graph, *, arc_plane=None
+) -> dict:
     """Solve one spec on a resolved graph; returns the success payload parts.
 
     Raises on failure — :func:`run_job` is the layer that converts
-    exceptions into structured failure payloads.
+    exceptions into structured failure payloads.  ``arc_plane`` optionally
+    carries the scheduler-shipped packed arc buffer for engine-model jobs.
     """
     params = spec.make_params()
     out: dict = {
@@ -106,12 +115,84 @@ def execute_spec(spec: JobSpec, graph: Graph) -> dict:
         out["solution_size"] = int(len(set(col.colors.tolist())))
         out["arrays"] = {"solution": np.asarray(col.colors, dtype=np.int64)}
         stats = col.mis
+    elif spec.problem == "ruling2":
+        rs = deterministic_ruling_set(graph, params=params)
+        out["verified"] = bool(is_ruling_set(graph, rs.ruling_set))
+        out["solution_size"] = rs.size
+        out["arrays"] = {"solution": np.asarray(rs.ruling_set, dtype=np.int64)}
+        stats = rs.mis
+    elif spec.problem == "cc_mis":
+        from ..cclique.mis_cc import cc_mis
+
+        cc = cc_mis(graph, max_scan_trials=params.max_scan_trials)
+        out["verified"] = bool(verify_mis_nodes(graph, cc.solution))
+        out["solution_size"] = int(cc.solution.size)
+        out["arrays"] = {"solution": np.asarray(cc.solution, dtype=np.int64)}
+        out["path"] = "congested-clique"
+        return _fill_model_stats(out, cc.phases, cc.rounds, cc.snapshot)
+    elif spec.problem == "congest_mis":
+        from ..congest.mis_congest import congest_mis
+
+        cg = congest_mis(graph, max_scan_trials=params.max_scan_trials)
+        out["verified"] = bool(verify_mis_nodes(graph, cg.independent_set))
+        out["solution_size"] = int(cg.independent_set.size)
+        out["arrays"] = {"solution": np.asarray(cg.independent_set, dtype=np.int64)}
+        out["path"] = "congest"
+        return _fill_model_stats(out, cg.phases, cg.rounds, cg.snapshot)
+    elif spec.problem == "engine_mis":
+        from ..mpc.context import MPCContext
+        from ..mpc.distributed_luby import distributed_luby_mis
+
+        # Machine count follows the model constants (enough machines to
+        # hold the input at S = Theta(n^eps)); the engine's space is then
+        # sized for its demonstrated request/response protocol, which keeps
+        # per-machine home state (inI / killed / answer planes, ~9 words
+        # per resident node), the arc block, and one query per distinct
+        # endpoint per holder in flight: ~(12 m + 12 n) / M words plus the
+        # broadcast fan-out slack.
+        ctx = MPCContext(
+            n=graph.n, m=graph.m, eps=params.eps, space_factor=params.space_factor
+        )
+        machines = ctx.num_machines
+        space = max(
+            ctx.S,
+            -(-(12 * graph.m + 12 * max(graph.n, 1)) // machines)
+            + 4 * machines
+            + 64,
+        )
+        stats: dict = {}
+        mis, rounds, phases = distributed_luby_mis(
+            graph, machines, space, arc_plane=arc_plane, stats_out=stats
+        )
+        out["verified"] = bool(verify_mis_nodes(graph, mis))
+        out["solution_size"] = int(mis.size)
+        out["arrays"] = {"solution": np.asarray(mis, dtype=np.int64)}
+        out["path"] = "mpc-engine"
+        out["space_limit"] = int(space)
+        return _fill_model_stats(out, phases, rounds, stats.get("snapshot"))
     else:  # unreachable: JobSpec validates problem
         raise ValueError(f"unknown problem {spec.problem!r}")
     out["iterations"] = int(stats.iterations)
     out["rounds"] = int(stats.rounds)
     out["max_machine_words"] = int(stats.max_machine_words)
     out["space_limit"] = int(stats.space_limit)
+    return out
+
+
+def _fill_model_stats(out: dict, phases: int, rounds: int, snapshot) -> dict:
+    out["iterations"] = int(phases)
+    out["rounds"] = int(rounds)
+    out["max_machine_words"] = int(snapshot.max_words_seen if snapshot else 0)
+    ceiling = snapshot.space_ceiling if snapshot else None
+    if ceiling is not None:
+        out["space_limit"] = int(ceiling)
+    if snapshot is not None:
+        # Tagged so CacheEntry.load_result knows this is a ModelSnapshot,
+        # not a records payload.
+        out["result_meta"] = {
+            "kind": "model_snapshot",
+            "model_snapshot": snapshot.to_dict(),
+        }
     return out
 
 
@@ -134,8 +215,11 @@ def run_job(payload: dict) -> dict:
         spec = JobSpec.from_dict(payload["spec"])
         npz = payload.get("graph_npz")
         graph = graph_from_npz_bytes(npz) if npz is not None else spec.source.resolve()
+        arc_plane = None
+        if npz is not None and spec.problem in ENGINE_PROBLEMS:
+            arc_plane = arc_plane_from_npz_bytes(npz)
         out["fingerprint"] = payload.get("fingerprint") or graph_fingerprint(graph)
-        out.update(execute_spec(spec, graph))
+        out.update(execute_spec(spec, graph, arc_plane=arc_plane))
     except JobTimeout:
         out["status"] = "timeout"
         out["error_type"] = "JobTimeout"

@@ -70,6 +70,34 @@ def test_eps_flag(capsys):
     assert rc == 0
 
 
+def test_crossmodel_command(tmp_path, capsys):
+    out = tmp_path / "xm.md"
+    js = tmp_path / "xm.json"
+    rc = main(["crossmodel", "--n", "80", "--p", "0.06", "--seed", "2",
+               "--out", str(out), "--json", str(js)])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "round / communication bill per model" in text
+    assert "congested-clique" in text
+    assert out.read_text().startswith("# cross-model")
+    import json as _json
+
+    doc = _json.loads(js.read_text())
+    assert doc["all_verified"] is True
+    assert {s["model"] for s in doc["snapshots"]} == {
+        "mpc", "congested-clique", "congest"
+    }
+
+
+def test_crossmodel_matching_from_file(tmp_path, capsys):
+    g = gnp_random_graph(40, 0.12, seed=3)
+    inp = tmp_path / "g.edges"
+    write_edge_list(g, inp)
+    rc = main(["crossmodel", "--input", str(inp), "--problem", "matching"])
+    assert rc == 0
+    assert "cross-model matching" in capsys.readouterr().out
+
+
 def test_batch_list_suites(capsys):
     rc = main(["batch", "--list"])
     assert rc == 0
@@ -128,11 +156,13 @@ def test_batch_report_and_jsonl_outputs(tmp_path, capsys):
     text = report.read_text()
     assert "per-problem aggregates" in text
     assert "coloring" in text
+    assert "ruling2" in text
     from repro.runtime import JobResult
+    from repro.runtime.suites import build_suite
 
     lines = jsonl.read_text().splitlines()
     results = [JobResult.from_json(line) for line in lines]
-    assert len(results) == 6
+    assert len(results) == len(build_suite("derived-problems")) == 9
     assert all(r.ok for r in results)
 
 

@@ -137,3 +137,68 @@ def test_coloring_reports_product_size():
     res = deterministic_coloring(g)
     assert res.product_n == 5 * res.num_colors
     assert res.rounds > 0
+
+
+# --------------------------------------------------------------------- #
+# 2-ruling set (one MIS call on the square graph)
+# --------------------------------------------------------------------- #
+
+from repro.core import deterministic_ruling_set, is_ruling_set  # noqa: E402
+from repro.graphs.power import square_graph  # noqa: E402
+
+
+def test_ruling_set_valid(any_graph):
+    rs = deterministic_ruling_set(any_graph)
+    assert is_ruling_set(any_graph, rs.ruling_set)
+
+
+def test_ruling_set_is_mis_of_square():
+    g = gnp_random_graph(60, 0.06, seed=4)
+    rs = deterministic_ruling_set(g)
+    sq = square_graph(g)
+    chosen = np.zeros(g.n, dtype=bool)
+    chosen[rs.ruling_set] = True
+    # independent in G^2 ...
+    if sq.m:
+        assert not np.any(chosen[sq.edges_u] & chosen[sq.edges_v])
+    # ... and maximal: every node in or G^2-adjacent to the set
+    covered = chosen.copy()
+    if sq.m:
+        np.logical_or.at(covered, sq.edges_u, chosen[sq.edges_v])
+        np.logical_or.at(covered, sq.edges_v, chosen[sq.edges_u])
+    assert covered.all()
+    assert rs.square_n == g.n and rs.square_m == sq.m
+
+
+def test_ruling_set_path_spacing():
+    """On a path, chosen vertices must sit >= 3 apart and cover within 2."""
+    g = path_graph(12)
+    rs = deterministic_ruling_set(g)
+    ids = np.sort(rs.ruling_set)
+    assert np.all(np.diff(ids) >= 3)
+    assert is_ruling_set(g, ids)
+
+
+def test_ruling_set_star_and_edgeless():
+    rs = deterministic_ruling_set(star_graph(15))
+    assert rs.size == 1  # any single vertex 2-rules a star
+    rs0 = deterministic_ruling_set(Graph.empty(5))
+    assert rs0.ruling_set.tolist() == [0, 1, 2, 3, 4]
+
+
+def test_ruling_set_rounds_and_determinism():
+    g = grid_graph(6, 6)
+    a = deterministic_ruling_set(g)
+    b = deterministic_ruling_set(g)
+    assert np.array_equal(a.ruling_set, b.ruling_set)
+    assert a.rounds > 0 and a.rounds == a.mis.rounds
+
+
+def test_is_ruling_set_rejects_violations():
+    g = path_graph(10)
+    # distance-1 pair
+    assert not is_ruling_set(g, np.array([0, 1]))
+    # distance-2 pair
+    assert not is_ruling_set(g, np.array([0, 2]))
+    # coverage hole (node 9 is > 2 hops from node 0)
+    assert not is_ruling_set(g, np.array([0]))

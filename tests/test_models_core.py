@@ -1,0 +1,425 @@
+"""Tests for the columnar round-execution core (repro.models).
+
+Covers the message-plane router, the ``REPRO_ENGINE_BACKEND`` gate, the
+columnar/legacy parity of every engine-layer call site, the shared
+``RoundLedger`` protocol across all three model simulators, and the
+hypothesis-driven ledger invariants (rounds monotone, category charges sum
+to the total, space ceilings raising exactly at the boundary).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cclique import CongestedCliqueContext
+from repro.congest import CongestContext
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    star_graph,
+)
+from repro.models import (
+    MessageBlock,
+    ModelSnapshot,
+    Plane,
+    RoundLedgerProtocol,
+    concat_planes,
+    cross_model_run,
+    resolve_engine_backend,
+    route_block,
+)
+from repro.mpc import (
+    CapacityExceededError,
+    MPCContext,
+    MPCEngine,
+    SpaceExceededError,
+    distributed_degrees,
+    distributed_luby_mis,
+    distributed_node_aggregate,
+    distributed_sort,
+    distributed_sort_packed,
+    packed_arc_plane,
+    word_size,
+)
+
+
+# --------------------------------------------------------------------- #
+# Planes and routing
+# --------------------------------------------------------------------- #
+
+
+def test_plane_word_cost_matches_tuples():
+    p = Plane("minz", np.arange(10).reshape(5, 2))
+    # five ("minz", a, b) tuples cost 3 words each
+    assert p.word_cost == 5 * 3 == sum(word_size(("minz", 1, 2)) for _ in range(5))
+
+
+def test_raw_block_costs_one_word_per_row():
+    blk = MessageBlock("", np.zeros(4, dtype=np.int64), np.arange(4))
+    assert blk.words_per_row == 1
+    with pytest.raises(ValueError):
+        MessageBlock("", np.zeros(2, dtype=np.int64), np.arange(4).reshape(2, 2))
+
+
+def test_route_block_splits_by_destination():
+    dest = np.array([2, 0, 2, 1, 0], dtype=np.int64)
+    data = np.arange(10).reshape(5, 2)
+    routed = dict(route_block(MessageBlock("t", dest, data), 3))
+    assert sorted(routed) == [0, 1, 2]
+    assert np.array_equal(routed[0].data, data[[1, 4]])
+    assert np.array_equal(routed[1].data, data[[3]])
+    assert np.array_equal(routed[2].data, data[[0, 2]])
+
+
+def test_route_block_rejects_bad_destination():
+    blk = MessageBlock("t", np.array([0, 5]), np.zeros((2, 1)))
+    with pytest.raises(ValueError, match="nonexistent machine"):
+        route_block(blk, 3)
+    blk = MessageBlock("t", np.array([-1]), np.zeros((1, 1)))
+    with pytest.raises(ValueError, match="nonexistent machine"):
+        route_block(blk, 3)
+
+
+def test_concat_planes_preserves_delivery_order():
+    items = [Plane("a", np.array([[1, 0]])), 7, Plane("a", np.array([[2, 1]]))]
+    got = concat_planes(items, "a", 2)
+    assert np.array_equal(got, np.array([[1, 0], [2, 1]]))
+    assert concat_planes(items, "missing", 2).shape == (0, 2)
+
+
+def test_resolve_engine_backend(monkeypatch):
+    assert resolve_engine_backend() == "columnar"
+    assert resolve_engine_backend("legacy") == "legacy"
+    monkeypatch.setenv("REPRO_ENGINE_BACKEND", "legacy")
+    assert resolve_engine_backend() == "legacy"
+    monkeypatch.setenv("REPRO_ENGINE_BACKEND", "bogus")
+    with pytest.raises(ValueError, match="unknown engine backend"):
+        resolve_engine_backend()
+
+
+# --------------------------------------------------------------------- #
+# round_packed semantics
+# --------------------------------------------------------------------- #
+
+
+def test_round_packed_keeps_self_rows_without_charging():
+    eng = MPCEngine(num_machines=2, space=8)
+
+    def step(mid, items):
+        if mid == 0:
+            # two rows to self, one row out: only the external row is sent
+            blk = MessageBlock(
+                "t", np.array([0, 0, 1]), np.array([[1], [2], [3]])
+            )
+            return [], [blk]
+        return [], []
+
+    eng.round_packed(step)
+    assert eng.rounds_executed == 1
+    # 2 self rows stayed on machine 0, 1 row delivered to machine 1
+    assert concat_planes(eng.storage[0], "t", 1)[:, 0].tolist() == [1, 2]
+    assert concat_planes(eng.storage[1], "t", 1)[:, 0].tolist() == [3]
+    assert eng.words_moved == 2  # one external (tag + value) row
+
+
+def test_round_packed_send_capacity_enforced():
+    eng = MPCEngine(num_machines=2, space=5)
+
+    def step(mid, items):
+        if mid == 0:
+            # 3 tagged rows of width 1 = 6 words > S = 5
+            return [], [MessageBlock("t", np.ones(3, dtype=np.int64),
+                                     np.zeros((3, 1)))]
+        return [], []
+
+    with pytest.raises(CapacityExceededError, match="sent"):
+        eng.round_packed(step)
+
+
+def test_round_packed_receive_capacity_enforced():
+    eng = MPCEngine(num_machines=3, space=4)
+
+    def step(mid, items):
+        if mid in (0, 1):
+            return [], [MessageBlock("t", np.full(2, 2), np.zeros((2, 1)))]
+        return [], []
+
+    with pytest.raises(CapacityExceededError, match="received"):
+        eng.round_packed(step)
+
+
+def test_round_packed_rejects_unknown_destination():
+    eng = MPCEngine(num_machines=2, space=64)
+    with pytest.raises(ValueError, match="nonexistent machine"):
+        eng.round_packed(
+            lambda mid, items: (
+                [],
+                [MessageBlock("t", np.array([7]), np.zeros((1, 1)))]
+                if mid == 0
+                else [],
+            )
+        )
+
+
+# --------------------------------------------------------------------- #
+# Columnar / legacy parity of the engine call sites
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "make,machines,space",
+    [
+        (lambda: gnp_random_graph(40, 0.15, seed=5), 4, 1024),
+        (lambda: cycle_graph(30), 3, 512),
+        (lambda: complete_graph(12), 3, 512),
+        (lambda: star_graph(25), 3, 512),
+        (lambda: Graph.empty(5), 2, 64),
+    ],
+)
+def test_distributed_luby_columnar_matches_legacy(make, machines, space):
+    g = make()
+    col = distributed_luby_mis(g, machines, space, engine_backend="columnar")
+    obj = distributed_luby_mis(g, machines, space, engine_backend="legacy")
+    assert np.array_equal(col[0], obj[0])
+    assert col[1:] == obj[1:]
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_distributed_luby_columnar_parity_hypothesis(seed):
+    g = gnp_random_graph(28, 0.18, seed=seed)
+    col = distributed_luby_mis(g, 4, 768, engine_backend="columnar")
+    obj = distributed_luby_mis(g, 4, 768, engine_backend="legacy")
+    assert np.array_equal(col[0], obj[0])
+    assert col[1:] == obj[1:]
+
+
+def test_distributed_luby_accepts_shipped_arc_plane():
+    g = gnp_random_graph(30, 0.2, seed=8)
+    plane = packed_arc_plane(g)
+    a = distributed_luby_mis(g, 4, 512)
+    b = distributed_luby_mis(g, 4, 512, arc_plane=plane)
+    assert np.array_equal(a[0], b[0]) and a[1:] == b[1:]
+
+
+def test_distributed_luby_stats_out_snapshot():
+    """``stats_out`` exposes the engine's snapshot without changing the
+    public return tuple; both backends report identical bills."""
+    g = gnp_random_graph(30, 0.2, seed=9)
+    out_col: dict = {}
+    out_obj: dict = {}
+    col = distributed_luby_mis(g, 4, 512, stats_out=out_col)
+    obj = distributed_luby_mis(
+        g, 4, 512, engine_backend="legacy", stats_out=out_obj
+    )
+    snap_col, snap_obj = out_col["snapshot"], out_obj["snapshot"]
+    assert snap_col.model == "mpc-engine"
+    assert snap_col.rounds == col[1] == obj[1]
+    assert snap_col.words_moved == snap_obj.words_moved > 0
+    assert snap_col.max_words_seen == snap_obj.max_words_seen > 0
+
+
+def test_cross_model_matching_edgeless_keeps_all_rows():
+    """Regression: the CONGEST matching early-return used to ship no
+    snapshot, silently dropping the congest row from the report."""
+    run = cross_model_run(Graph.empty(5), "matching")
+    assert [s.model for s in run.snapshots] == [
+        "mpc", "congested-clique", "congest"
+    ]
+    assert run.snapshot_for("congest").rounds == 0
+    assert run.all_verified
+
+
+def test_distributed_sort_packed_matches_object_sort():
+    values = [5, 3, 8, 1, 9, 2, 7, 7, 0, -4, 11, 6]
+    obj = MPCEngine(num_machines=4, space=64)
+    obj.load_balanced(values)
+    col = MPCEngine(num_machines=4, space=64)
+    col.load_balanced(values)
+    for mid in range(4):
+        col.storage[mid] = [np.asarray(col.storage[mid], dtype=np.int64)]
+    r_obj = distributed_sort(obj)
+    r_col = distributed_sort_packed(col)
+    assert r_obj == r_col == 3
+    packed = np.concatenate(
+        [it for st_ in col.storage for it in st_ if isinstance(it, np.ndarray)]
+    )
+    assert packed.tolist() == obj.all_items() == sorted(values)
+
+
+def test_distributed_sort_packed_single_machine_and_capacity():
+    eng = MPCEngine(num_machines=1, space=64)
+    eng.storage[0] = [np.array([3, 1, 2], dtype=np.int64)]
+    assert distributed_sort_packed(eng) == 0
+    assert eng.storage[0][0].tolist() == [1, 2, 3]
+    big = MPCEngine(num_machines=10, space=50)
+    with pytest.raises(ValueError, match="sample sort"):
+        distributed_sort_packed(big)
+
+
+def test_distributed_degrees_columnar_matches_legacy():
+    g = gnp_random_graph(50, 0.12, seed=1)
+    d_col, r_col = distributed_degrees(g, 6, 256, engine_backend="columnar")
+    d_obj, r_obj = distributed_degrees(g, 6, 256, engine_backend="legacy")
+    assert np.array_equal(d_col, d_obj)
+    assert np.array_equal(d_col, g.degrees())
+    assert r_col == r_obj == 4
+
+
+def test_distributed_aggregate_columnar_matches_legacy():
+    g = gnp_random_graph(40, 0.15, seed=3)
+    d = g.degrees().astype(float)
+    a_col, r_col = distributed_node_aggregate(
+        g, lambda v, u: 1.0 / d[u], 5, 512, engine_backend="columnar"
+    )
+    a_obj, r_obj = distributed_node_aggregate(
+        g, lambda v, u: 1.0 / d[u], 5, 512, engine_backend="legacy"
+    )
+    assert np.allclose(a_col, a_obj)
+    assert r_col == r_obj == 4
+
+
+# --------------------------------------------------------------------- #
+# The shared RoundLedger protocol
+# --------------------------------------------------------------------- #
+
+
+def _implementations():
+    return [
+        MPCEngine(num_machines=3, space=32),
+        MPCContext(n=20, m=30),
+        CongestedCliqueContext(n=20, space_per_node=64),
+        CongestContext(gnp_random_graph(20, 0.2, seed=4), space_per_node=64),
+    ]
+
+
+def test_all_simulators_implement_protocol():
+    for impl in _implementations():
+        assert isinstance(impl, RoundLedgerProtocol)
+        snap = impl.model_snapshot()
+        assert isinstance(snap, ModelSnapshot)
+        assert snap.rounds == impl.rounds
+        assert ModelSnapshot.from_dict(snap.to_dict()) == snap
+
+
+def test_snapshot_ceilings_reflect_model():
+    eng, ctx, cc, cg = _implementations()
+    assert eng.space_ceiling == eng.bandwidth_ceiling == 32
+    assert ctx.space_ceiling == ctx.S
+    assert cc.bandwidth_ceiling == 20  # Lenzen: n messages per node
+    assert cg.bandwidth_ceiling == 2 * cg.graph.m
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["sort", "phase", "seed_fix", "route"]),
+            st.integers(0, 5),
+            st.integers(0, 100),
+        ),
+        max_size=30,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_ledger_invariants_hypothesis(charges):
+    """Rounds monotone; per-category charges sum to the total; words too."""
+    for impl in _implementations():
+        seen = [impl.rounds]
+        for category, rounds, words in charges:
+            impl.charge(category, rounds, words=words)
+            seen.append(impl.rounds)
+        assert all(b >= a for a, b in zip(seen, seen[1:]))  # monotone
+        by_cat = impl.rounds_by_category()
+        charged = sum(rounds for _, rounds, _ in charges)
+        assert sum(by_cat.values()) == charged
+        assert impl.rounds - seen[0] == charged
+        assert impl.words_moved >= sum(w for _, _, w in charges)
+
+
+@given(st.integers(1, 200))
+@settings(max_examples=25, deadline=None)
+def test_space_ceiling_boundary_engine(limit):
+    """Exactly at the ceiling is legal; one word past it raises."""
+    eng = MPCEngine(num_machines=1, space=limit)
+    eng.load_balanced([0] * limit)  # exactly S words: fine
+    assert eng.max_load_seen == limit
+    with pytest.raises(SpaceExceededError):
+        MPCEngine(num_machines=1, space=limit).load_balanced([0] * (limit + 1))
+
+
+@given(st.integers(1, 200))
+@settings(max_examples=25, deadline=None)
+def test_space_ceiling_boundary_clique_and_congest(limit):
+    cc = CongestedCliqueContext(n=8, space_per_node=limit)
+    cc.observe_node_words(0, limit)  # boundary: fine
+    assert cc.max_words_seen == limit
+    with pytest.raises(SpaceExceededError):
+        cc.observe_node_words(0, limit + 1)
+
+    cg = CongestContext(cycle_graph(8), space_per_node=limit)
+    cg.observe_node_words(3, limit)
+    assert cg.max_words_seen == limit
+    with pytest.raises(SpaceExceededError):
+        cg.observe_node_words(3, limit + 1)
+
+
+@given(st.integers(1, 200))
+@settings(max_examples=25, deadline=None)
+def test_space_ceiling_boundary_mpc_context(limit):
+    ctx = MPCContext(n=10, m=10)
+    tracker = type(ctx.space)(limit_per_machine=limit)
+    tracker.observe_single(0, limit)
+    assert tracker.max_machine_words == limit
+    with pytest.raises(SpaceExceededError):
+        tracker.observe_single(0, limit + 1)
+
+
+def test_clique_unbounded_space_never_raises():
+    cc = CongestedCliqueContext(n=4)  # space_per_node=None
+    cc.observe_node_words(0, 10**9)
+    assert cc.max_words_seen == 10**9
+
+
+# --------------------------------------------------------------------- #
+# Cross-model runner and report
+# --------------------------------------------------------------------- #
+
+
+def test_cross_model_run_mis():
+    g = gnp_random_graph(60, 0.08, seed=2)
+    run = cross_model_run(g, "mis")
+    assert run.all_verified
+    models = [s.model for s in run.snapshots]
+    assert models == ["mpc", "congested-clique", "congest"]
+    assert all(s.rounds > 0 for s in run.snapshots)
+    assert dict(run.solution_sizes)["mpc"] > 0
+    rebuilt = run.to_dict()
+    assert rebuilt["problem"] == "mis" and len(rebuilt["snapshots"]) == 3
+
+
+def test_cross_model_run_matching():
+    g = gnp_random_graph(50, 0.1, seed=6)
+    run = cross_model_run(g, "matching")
+    assert run.all_verified
+    assert run.snapshot_for("congest").rounds > run.snapshot_for(
+        "congested-clique"
+    ).rounds  # the tree cost is the point of the comparison
+
+
+def test_cross_model_run_rejects_unknown_problem():
+    with pytest.raises(ValueError, match="mis|matching"):
+        cross_model_run(Graph.empty(3), "coloring")
+
+
+def test_cross_model_report_renders():
+    from repro.analysis import cross_model_report
+
+    g = gnp_random_graph(40, 0.12, seed=3)
+    run = cross_model_run(g, "mis")
+    text = cross_model_report(run)
+    assert "congested-clique" in text
+    assert "congest" in text
+    assert "round / communication bill per model" in text
+    assert "verified: yes" in text

@@ -21,6 +21,30 @@ def test_word_size():
     assert word_size([1, 2]) == 2
 
 
+def test_word_size_counts_nested_contents_recursively():
+    """Regression: a tuple containing an ndarray used to be charged
+    ``len(tuple)`` words, so a 3-slot message could smuggle an arbitrarily
+    large array past the capacity checks."""
+    arr = np.arange(1000)
+    assert word_size(("payload", arr, 7)) == 1 + 1000 + 1
+    assert word_size([("a", 1), ("b", (2, 3))]) == 2 + 3
+    assert word_size((np.arange(4), [np.arange(5)])) == 9
+
+
+def test_engine_charges_nested_array_messages_fully():
+    """A machine cannot send an oversized array inside a small tuple."""
+    eng = MPCEngine(num_machines=2, space=8)
+    eng.storage[0] = [1]
+
+    def step(mid, items):
+        if mid == 0:
+            return [], [(1, ("blob", np.arange(50)))]
+        return items, []
+
+    with pytest.raises(CapacityExceededError):
+        eng.round(step)
+
+
 def test_engine_load_balanced():
     eng = MPCEngine(num_machines=4, space=10)
     eng.load_balanced(range(10))

@@ -140,10 +140,11 @@ def test_shared_source_resolved_once_still_all_jobs_run():
 def test_suite_registry_and_sizes():
     names = [s.name for s in list_suites()]
     for expected in ("scaling-sweep", "degree-regime", "derived-problems",
-                     "throughput-micro"):
+                     "throughput-micro", "cross-model"):
         assert expected in names
     assert len(build_suite("scaling-sweep")) >= 20
     assert len(build_suite("throughput-micro")) == 20
+    assert len(build_suite("cross-model")) == 15
     assert get_suite("degree-regime").description
     with pytest.raises(KeyError, match="unknown suite"):
         build_suite("nope")
@@ -151,7 +152,74 @@ def test_suite_registry_and_sizes():
 
 def test_derived_problems_run_through_scheduler():
     src = GraphSource.generator("random_regular_graph", n=60, d=4, seed=2)
-    specs = [JobSpec("vc", src), JobSpec("coloring", src)]
+    specs = [JobSpec("vc", src), JobSpec("coloring", src), JobSpec("ruling2", src)]
     batch = Scheduler(workers=1).run(specs)
     assert batch.all_ok
     assert all(r.verified for r in batch.results)
+
+
+def test_cached_model_jobs_load_result_as_snapshot(tmp_path):
+    """Regression: cached cc_mis/congest_mis/engine_mis entries used to
+    store a result_meta without a 'kind' tag, so load_result() raised."""
+    from repro.graphs.io import graph_fingerprint
+    from repro.models import ModelSnapshot
+    from repro.runtime import ResultCache
+
+    cache = ResultCache(tmp_path / "cache")
+    src = GraphSource.generator("gnp_random_graph", n=50, p=0.1, seed=7)
+    specs = [JobSpec(p, src) for p in ("cc_mis", "congest_mis", "engine_mis")]
+    batch = Scheduler(workers=1, cache=cache).run(specs)
+    assert batch.all_ok
+    fp = graph_fingerprint(src.resolve())
+    for spec in specs:
+        hit = cache.get(spec.cache_key(fp))
+        snap = hit.load_result()
+        assert isinstance(snap, ModelSnapshot)
+        assert snap.rounds > 0
+
+
+def test_cross_model_problems_run_through_scheduler():
+    """One input billed under every model through the runtime, with the
+    packed arc plane shipped to the engine job."""
+    src = GraphSource.generator("gnp_random_graph", n=80, p=0.06, seed=5)
+    specs = [
+        JobSpec(problem, src, tag=problem)
+        for problem in ("mis", "cc_mis", "congest_mis", "engine_mis")
+    ]
+    batch = Scheduler(workers=2).run(specs)
+    assert batch.all_ok
+    by_tag = {r.spec.tag: r for r in batch.results}
+    assert all(r.verified for r in batch.results)
+    assert by_tag["cc_mis"].path == "congested-clique"
+    assert by_tag["congest_mis"].path == "congest"
+    assert by_tag["engine_mis"].path == "mpc-engine"
+    # CONGEST pays the tree cost; the clique run is O(log Delta) rounds
+    assert by_tag["congest_mis"].rounds > by_tag["cc_mis"].rounds
+    assert by_tag["engine_mis"].space_limit > 0
+
+
+def test_engine_job_uses_shipped_arc_plane(monkeypatch):
+    """The worker consumes the scheduler-shipped packed arc buffer instead
+    of re-encoding the edge list."""
+    from repro.graphs.io import arc_plane_from_npz_bytes, graph_to_npz_bytes
+    from repro.runtime.worker import run_job
+
+    src = GraphSource.generator("gnp_random_graph", n=40, p=0.1, seed=1)
+    g = src.resolve()
+    npz = graph_to_npz_bytes(g, include_csr=True, include_arc_plane=True)
+    assert arc_plane_from_npz_bytes(npz) is not None
+    assert arc_plane_from_npz_bytes(graph_to_npz_bytes(g)) is None
+
+    seen = {}
+    import repro.runtime.worker as worker_mod
+    real = worker_mod.execute_spec
+
+    def spy(spec, graph, *, arc_plane=None):
+        seen["arc_plane"] = arc_plane
+        return real(spec, graph, arc_plane=arc_plane)
+
+    monkeypatch.setattr(worker_mod, "execute_spec", spy)
+    out = run_job({"spec": JobSpec("engine_mis", src).to_dict(),
+                   "graph_npz": npz, "timeout": None})
+    assert out["status"] == "ok" and out["verified"]
+    assert seen["arc_plane"] is not None and seen["arc_plane"].size == 2 * g.m
