@@ -11,6 +11,13 @@ Quickstart::
     result = maximal_independent_set(g, eps=0.5)
     print(result.independent_set, result.rounds)
 
+One API — any problem under any cost model through the solver registry::
+
+    from repro import SolveRequest, solve
+
+    res = solve(SolveRequest(problem="mis", model="cclique", graph=g))
+    print(res.solution_size, res.rounds, res.words_moved)
+
 See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 experiment index.
 """
@@ -53,10 +60,13 @@ def maximal_matching(graph: Graph, *, eps: float = 0.5, **kwargs) -> MatchingRes
 
 
 __all__ = [
+    "ExecutionConfig",
     "Graph",
     "MISResult",
     "MatchingResult",
     "Params",
+    "SolveRequest",
+    "SolveResult",
     "deterministic_maximal_matching",
     "deterministic_mis",
     "gnp_random_graph",
@@ -67,7 +77,20 @@ __all__ = [
     "maximal_independent_set",
     "maximal_matching",
     "power_law_graph",
+    "solve",
     "verify_matching_pairs",
     "verify_mis_nodes",
     "__version__",
 ]
+
+#: Facade symbols resolved lazily: ``repro.api`` imports every model
+#: simulator, which a bare ``import repro`` should not pay for.
+_API_LAZY = ("ExecutionConfig", "SolveRequest", "SolveResult", "solve")
+
+
+def __getattr__(name: str):
+    if name in _API_LAZY:
+        from . import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -2,6 +2,8 @@
 
 Commands
 --------
+``solve``      one problem under one cost model through the ``repro.api``
+               registry (``--list`` shows every (problem, model) entry)
 ``mis``        deterministic MIS on an edge-list file (or a generated graph)
 ``matching``   deterministic maximal matching
 ``vc``         2-approximate vertex cover
@@ -11,8 +13,14 @@ Commands
 ``batch``      run a named workload suite through the parallel runtime
 ``cache``      inspect / clear the content-addressed result cache
 
+Every solve-shaped command routes through :func:`repro.api.solve`; the
+problem-specific commands (``mis`` / ``matching`` / ``vc`` / ``coloring``)
+are convenience spellings of ``solve --model simulated``.
+
 Examples::
 
+    python -m repro solve --list
+    python -m repro solve --problem mis --model cclique --n 300 --p 0.03
     python -m repro demo --n 500 --p 0.02 --algo mis
     python -m repro mis graph.edges --eps 0.6 --out mis.txt
     python -m repro matching graph.edges --force lowdeg
@@ -28,17 +36,10 @@ import json
 import os
 import sys
 
-import numpy as np
-
 from . import __version__
-from .core import (
-    Params,
-    deterministic_coloring,
-    deterministic_vertex_cover,
-)
-from .core.api import maximal_independent_set, maximal_matching
+from .api import REGISTRY, SolveRequest, solve
+from .core import Params
 from .graphs import Graph, gnp_random_graph, read_edge_list
-from .verify import verify_matching_pairs, verify_mis_nodes
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -65,14 +66,17 @@ def _maybe_report(args, res, title: str) -> None:
         print(f"  report written to {args.report}")
 
 
-def _report(kind: str, g: Graph, res, ok: bool) -> None:
+def _report(kind: str, g: Graph, res) -> None:
+    """Summary lines from a SolveResult envelope."""
     print(f"{kind} on {g}")
-    print(f"  verified: {ok}")
+    print(f"  verified: {res.verified}")
     print(f"  iterations/phases: {res.iterations}")
     print(f"  charged MPC rounds: {res.rounds}")
+    print(f"  words moved: {res.words_moved}")
     print(f"  space high-water: {res.max_machine_words}/{res.space_limit} words")
-    if res.fidelity_events:
-        print(f"  fidelity events: {len(res.fidelity_events)}")
+    raw = res.raw
+    if raw is not None and getattr(raw, "fidelity_events", None):
+        print(f"  fidelity events: {len(raw.fidelity_events)}")
 
 
 def _write(path: str | None, lines) -> None:
@@ -84,55 +88,130 @@ def _write(path: str | None, lines) -> None:
     print(f"  solution written to {path}")
 
 
-def cmd_mis(args) -> int:
+def _simulated(args, problem: str):
+    """Run one simulated-model solve through the facade."""
     g = _load_graph(args)
-    params = Params(eps=args.eps)
-    res = maximal_independent_set(g, params=params, force=args.force)
-    ok = verify_mis_nodes(g, res.independent_set)
-    _report("MIS", g, res, ok)
-    print(f"  |I| = {len(res.independent_set)}")
-    _write(args.out, res.independent_set.tolist())
-    _maybe_report(args, res, f"MIS on {g}")
-    return 0 if ok else 1
+    return g, solve(
+        SolveRequest(
+            problem=problem,
+            model="simulated",
+            graph=g,
+            eps=args.eps,
+            force=getattr(args, "force", None),
+        )
+    )
+
+
+def cmd_mis(args) -> int:
+    g, res = _simulated(args, "mis")
+    _report("MIS", g, res)
+    print(f"  |I| = {res.solution_size}")
+    _write(args.out, res.solution.tolist())
+    _maybe_report(args, res.raw, f"MIS on {g}")
+    return 0 if res.verified else 1
 
 
 def cmd_matching(args) -> int:
-    g = _load_graph(args)
-    params = Params(eps=args.eps)
-    res = maximal_matching(g, params=params, force=args.force)
-    ok = verify_matching_pairs(g, res.pairs)
-    _report("maximal matching", g, res, ok)
-    print(f"  |M| = {res.pairs.shape[0]}")
-    _write(args.out, (f"{u} {v}" for u, v in res.pairs.tolist()))
-    _maybe_report(args, res, f"maximal matching on {g}")
-    return 0 if ok else 1
+    g, res = _simulated(args, "matching")
+    _report("maximal matching", g, res)
+    print(f"  |M| = {res.solution_size}")
+    _write(args.out, (f"{u} {v}" for u, v in res.solution.tolist()))
+    _maybe_report(args, res.raw, f"maximal matching on {g}")
+    return 0 if res.verified else 1
 
 
 def cmd_vc(args) -> int:
-    g = _load_graph(args)
-    vc = deterministic_vertex_cover(g, eps=args.eps)
-    from .core.derived import is_vertex_cover
-
-    ok = is_vertex_cover(g, vc.cover)
+    g, res = _simulated(args, "vc")
+    vc = res.raw
     print(f"vertex cover on {g}")
-    print(f"  verified: {ok}; |cover| = {vc.size} <= 2 * {vc.lower_bound()} (2-approx cert)")
-    print(f"  charged MPC rounds: {vc.rounds}")
-    _write(args.out, vc.cover.tolist())
-    return 0 if ok else 1
+    print(f"  verified: {res.verified}; |cover| = {vc.size} "
+          f"<= 2 * {vc.lower_bound()} (2-approx cert)")
+    print(f"  charged MPC rounds: {res.rounds}")
+    _write(args.out, res.solution.tolist())
+    return 0 if res.verified else 1
 
 
 def cmd_coloring(args) -> int:
-    g = _load_graph(args)
-    res = deterministic_coloring(g, eps=args.eps)
-    proper = bool(
-        np.all(res.colors[g.edges_u] != res.colors[g.edges_v])
-    ) if g.m else True
+    g, res = _simulated(args, "coloring")
+    col = res.raw
     print(f"(Delta+1)-coloring on {g}")
-    print(f"  proper: {proper}; palette {res.num_colors}, "
-          f"used {len(set(res.colors.tolist()))}")
+    print(f"  proper: {res.verified}; palette {col.num_colors}, "
+          f"used {res.solution_size}")
     print(f"  charged MPC rounds: {res.rounds}")
-    _write(args.out, res.colors.tolist())
-    return 0 if proper else 1
+    _write(args.out, res.solution.tolist())
+    return 0 if res.verified else 1
+
+
+def cmd_solve(args) -> int:
+    if args.list:
+        from .runtime import runtime_problem_name
+
+        print(f"{'problem':9s} {'model':11s} {'batch name':17s} capabilities")
+        for e in REGISTRY.entries():
+            print(
+                f"{e.problem:9s} {e.model:11s} "
+                f"{runtime_problem_name(e.problem, e.model):17s} "
+                f"{e.capabilities.flags()}"
+            )
+            if args.verbose:
+                print(f"  {e.description}  [{e.legacy_entry}]")
+        return 0
+    if not args.problem:
+        print("error: --problem required (or --list to see entries)",
+              file=sys.stderr)
+        return 2
+
+    options = {}
+    if args.charge_mode:
+        options["charge_mode"] = args.charge_mode
+    if args.mode:
+        options["mode"] = args.mode
+    from .api import ExecutionConfig
+
+    config = ExecutionConfig(
+        congest_pipeline_seed_fix=True if args.pipeline_seed_fix else None
+    )
+    g = _load_graph(args)
+    try:
+        # Request validation + registry lookup are the usage-error surface;
+        # the solve itself runs outside this try so real solver failures
+        # keep their tracebacks.
+        request = SolveRequest(
+            problem=args.problem,
+            model=args.model,
+            graph=g,
+            eps=args.eps,
+            force=args.force,
+            paper_rule=args.paper_rule,
+            config=config,
+            options=options,
+        )
+        REGISTRY.get(request.problem, request.model)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    res = solve(request)
+    print(f"solve {args.problem} under {args.model} on {g}")
+    print(f"  verified: {res.verified} ({res.certificate.get('verifier')})")
+    print(f"  |solution| = {res.solution_size} ({res.solution_kind})")
+    print(f"  rounds: {res.rounds}  iterations/phases: {res.iterations}")
+    print(f"  words moved: {res.words_moved}")
+    print(f"  space high-water: {res.max_machine_words}/{res.space_limit} words")
+    if res.path:
+        print(f"  path: {res.path}")
+    print(f"  wall time: {res.wall_time:.3f}s")
+    if args.json:
+        meta, _ = res.to_payload()
+        with open(args.json, "w") as fh:
+            json.dump(meta, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"  json written to {args.json}")
+    if args.out:
+        if res.solution_kind == "pairs":
+            _write(args.out, (f"{u} {v}" for u, v in res.solution.tolist()))
+        else:
+            _write(args.out, res.solution.tolist())
+    return 0 if res.verified else 1
 
 
 def cmd_crossmodel(args) -> int:
@@ -140,7 +219,12 @@ def cmd_crossmodel(args) -> int:
     from .models import cross_model_run
 
     g = _load_graph(args)
-    run = cross_model_run(g, args.problem, params=Params(eps=args.eps))
+    run = cross_model_run(
+        g,
+        args.problem,
+        params=Params(eps=args.eps),
+        include_engine=args.engine,
+    )
     text = cross_model_report(run, title=f"cross-model {args.problem} on {g}")
     print(text)
     if args.out:
@@ -249,6 +333,41 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    sv = sub.add_parser(
+        "solve",
+        help="solve one problem under one cost model via the repro.api registry",
+    )
+    sv.add_argument("--list", action="store_true",
+                    help="list every (problem, model) registry entry")
+    sv.add_argument("--verbose", action="store_true",
+                    help="with --list: include descriptions and legacy entry points")
+    sv.add_argument("--problem", type=str, default=None,
+                    help="problem key (see --list)")
+    sv.add_argument("--model", type=str, default="simulated",
+                    help="cost model key (default: simulated)")
+    sv.add_argument("--input", type=str, default=None,
+                    help="edge-list file (generated G(n, p) otherwise)")
+    sv.add_argument("--n", type=int, default=300)
+    sv.add_argument("--p", type=float, default=0.03)
+    sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument("--eps", type=float, default=0.5)
+    sv.add_argument("--force", choices=["general", "lowdeg"], default=None,
+                    help="pin the Theorem-1 path (simulated model)")
+    sv.add_argument("--paper-rule", action="store_true",
+                    help="use the literal Delta <= n^delta dispatch rule")
+    sv.add_argument("--charge-mode", choices=["ours", "chps"], default=None,
+                    help="CONGESTED CLIQUE round charging (default: ours)")
+    sv.add_argument("--mode", choices=["voting", "color-compressed"], default=None,
+                    help="CONGEST seed pipeline (default: color-compressed)")
+    sv.add_argument("--pipeline-seed-fix", action="store_true",
+                    help="CONGEST ablation: O(D + seed_bits) BFS-pipelined "
+                         "seed broadcast instead of 2*D*seed_bits")
+    sv.add_argument("--out", type=str, default=None,
+                    help="write the solution to a file")
+    sv.add_argument("--json", type=str, default=None,
+                    help="write the SolveResult envelope (sans arrays) as JSON")
+    sv.set_defaults(fn=cmd_solve)
+
     for name, fn in (
         ("mis", cmd_mis),
         ("matching", cmd_matching),
@@ -284,6 +403,8 @@ def build_parser() -> argparse.ArgumentParser:
     xm.add_argument("--seed", type=int, default=0)
     xm.add_argument("--eps", type=float, default=0.5)
     xm.add_argument("--problem", choices=["mis", "matching"], default="mis")
+    xm.add_argument("--engine", action="store_true",
+                    help="add the literal MPC engine as a fourth row")
     xm.add_argument("--out", type=str, default=None,
                     help="write the report to a file")
     xm.add_argument("--json", type=str, default=None,

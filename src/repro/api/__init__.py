@@ -1,0 +1,80 @@
+"""``repro.api`` — the one problem x model solver facade (Theorem 1's API).
+
+One call solves any registered problem under any registered cost model and
+returns the unified envelope::
+
+    from repro.api import SolveRequest, solve
+    from repro.graphs import gnp_random_graph
+
+    g = gnp_random_graph(300, 0.03, seed=0)
+    res = solve(SolveRequest(problem="mis", model="cclique", graph=g))
+    res.solution, res.rounds, res.words_moved, res.snapshot
+
+Pieces:
+
+* :class:`SolveRequest` / :class:`SolveResult` — the typed envelope
+  (:mod:`repro.api.envelope`);
+* :class:`ExecutionConfig` — every backend knob in one record with
+  environment fallback (:mod:`repro.api.config`);
+* :data:`REGISTRY` — the ``(problem, model)`` solver registry with
+  capability metadata (:mod:`repro.api.registry`); built-in entries are
+  registered by :mod:`repro.api.solvers` at import time.
+
+The historical entry points (``repro.core.api.maximal_independent_set``,
+``repro.cclique.mis_cc.cc_mis``, ``repro.congest.mis_congest.congest_mis``,
+``repro.mpc.distributed_luby.distributed_luby_mis``, ...) remain available
+and bit-identical; they are the implementation layer this facade fronts.
+New scenarios should register a solver here instead of adding entry points.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from ..graphs.graph import Graph
+from ..graphs.kernels import kernel_backend_scope
+from .config import ExecutionConfig
+from .envelope import MODELS, PROBLEMS, SolveRequest, SolveResult
+from .registry import (
+    REGISTRY,
+    SolverCapabilities,
+    SolverEntry,
+    SolverRegistry,
+    register_solver,
+)
+from . import solvers as _solvers  # noqa: F401  (registers built-in entries)
+
+__all__ = [
+    "MODELS",
+    "PROBLEMS",
+    "REGISTRY",
+    "ExecutionConfig",
+    "SolveRequest",
+    "SolveResult",
+    "SolverCapabilities",
+    "SolverEntry",
+    "SolverRegistry",
+    "register_solver",
+    "solve",
+]
+
+
+def solve(request: SolveRequest, *, graph: Graph | None = None) -> SolveResult:
+    """Solve ``request`` through the registry; returns the unified envelope.
+
+    The input graph comes from ``request.graph`` (or the ``graph`` keyword,
+    which wins when both are given).  The request's
+    :class:`ExecutionConfig` is applied to the effective
+    :class:`~repro.core.params.Params` and — for the kernel backend, which
+    call sites resolve ambiently — scoped around the solver call.
+    """
+    g = graph if graph is not None else request.graph
+    if g is None:
+        raise ValueError("SolveRequest needs a graph (request.graph or graph=)")
+    entry = REGISTRY.get(request.problem, request.model)
+    params = request.make_params()
+    t0 = time.perf_counter()
+    with kernel_backend_scope(params.kernel_backend):
+        result = entry.fn(g, request, params)
+    return replace(result, wall_time=time.perf_counter() - t0)

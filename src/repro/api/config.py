@@ -1,0 +1,160 @@
+"""Consolidated execution configuration (every backend knob, one record).
+
+Before this module, the backend switches grown over the performance PRs
+lived in four places: ``REPRO_KERNEL_BACKEND`` (vectorized CSR kernels),
+``REPRO_SEED_BACKEND`` / ``REPRO_SEED_CHUNK`` / ``REPRO_SEED_WORKERS``
+(batched seed search), ``REPRO_ENGINE_BACKEND`` (columnar round core), and
+ad-hoc ``os.environ`` reads at call sites.  :class:`ExecutionConfig` is the
+single typed record for all of them, plus the CONGEST
+``pipeline_seed_fix`` ablation flag:
+
+* every field defaults to ``None`` = "inherit" (environment variable, then
+  the built-in default), so an empty config is always safe;
+* :meth:`ExecutionConfig.from_env` snapshots the current environment into
+  explicit values;
+* :meth:`ExecutionConfig.apply` threads the config into a frozen
+  :class:`~repro.core.params.Params`, which is how the knobs reach the
+  solver call sites (``repro.api.solve`` applies the request's config this
+  way, and additionally scopes the kernel backend through
+  :func:`repro.graphs.kernels.kernel_backend_scope`).
+
+The environment variables stay honored for processes that never touch the
+facade; this module is the one place their names are spelled.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields, replace
+
+from ..core.params import Params
+from ..derand.strategies import SEED_BACKENDS
+from ..graphs.kernels import BACKENDS as KERNEL_BACKENDS
+from ..models.plane import ENGINE_BACKENDS
+
+__all__ = ["ExecutionConfig"]
+
+#: field name -> (environment variable, parser)
+_ENV_SPEC = {
+    "kernel_backend": ("REPRO_KERNEL_BACKEND", str),
+    "seed_backend": ("REPRO_SEED_BACKEND", str),
+    "engine_backend": ("REPRO_ENGINE_BACKEND", str),
+    "seed_chunk": ("REPRO_SEED_CHUNK", int),
+    "seed_scan_workers": ("REPRO_SEED_WORKERS", int),
+    "congest_pipeline_seed_fix": (
+        "REPRO_CONGEST_PIPELINE_SEED_FIX",
+        lambda s: s.strip().lower() in ("1", "true", "yes", "on"),
+    ),
+}
+
+# Canonical choice tuples live with their resolvers; referenced here so a
+# new backend registers once.
+_CHOICES = {
+    "kernel_backend": KERNEL_BACKENDS,
+    "seed_backend": SEED_BACKENDS,
+    "engine_backend": ENGINE_BACKENDS,
+}
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """All execution-backend knobs; ``None`` fields inherit env/defaults."""
+
+    kernel_backend: str | None = None  # csr | legacy
+    seed_backend: str | None = None  # batched | scalar
+    engine_backend: str | None = None  # columnar | legacy
+    seed_chunk: int | None = None  # seeds per objective block
+    seed_scan_workers: int | None = None  # > 1 enables the parallel stage scan
+    congest_pipeline_seed_fix: bool | None = None  # O(D + seed_bits) ablation
+
+    def __post_init__(self) -> None:
+        for name, choices in _CHOICES.items():
+            value = getattr(self, name)
+            if value is not None and value not in choices:
+                raise ValueError(
+                    f"unknown {name} {value!r}; expected one of {choices}"
+                )
+        if self.seed_chunk is not None and self.seed_chunk < 1:
+            raise ValueError("seed_chunk must be >= 1")
+        if self.seed_scan_workers is not None and self.seed_scan_workers < 0:
+            raise ValueError("seed_scan_workers must be >= 0")
+
+    # ------------------------------------------------------------------ #
+    # Environment fallback
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def from_env() -> "ExecutionConfig":
+        """Snapshot the ``REPRO_*`` environment into explicit values."""
+        values = {}
+        for name, (var, parse) in _ENV_SPEC.items():
+            raw = os.environ.get(var)
+            if raw is not None and raw != "":
+                values[name] = parse(raw)
+        return ExecutionConfig(**values)
+
+    def resolved(self) -> "ExecutionConfig":
+        """Fill every ``None`` field from the environment (explicit wins)."""
+        env = ExecutionConfig.from_env()
+        values = {
+            f.name: (
+                getattr(self, f.name)
+                if getattr(self, f.name) is not None
+                else getattr(env, f.name)
+            )
+            for f in fields(self)
+        }
+        return ExecutionConfig(**values)
+
+    # ------------------------------------------------------------------ #
+    # Params threading
+    # ------------------------------------------------------------------ #
+
+    def apply(self, params: Params) -> Params:
+        """Thread the non-``None`` knobs into a :class:`Params` copy."""
+        updates: dict = {}
+        for name in (
+            "kernel_backend",
+            "seed_backend",
+            "engine_backend",
+            "seed_chunk",
+        ):
+            value = getattr(self, name)
+            if value is not None:
+                updates[name] = value
+        if self.seed_scan_workers is not None:
+            updates["seed_scan_workers"] = self.seed_scan_workers
+        if self.congest_pipeline_seed_fix is not None:
+            updates["congest_pipeline_seed_fix"] = self.congest_pipeline_seed_fix
+        return params.with_(**updates) if updates else params
+
+    @staticmethod
+    def from_params(params: Params) -> "ExecutionConfig":
+        """Extract the execution knobs a :class:`Params` carries."""
+        return ExecutionConfig(
+            kernel_backend=params.kernel_backend,
+            seed_backend=params.seed_backend,
+            engine_backend=params.engine_backend,
+            seed_chunk=params.seed_chunk,
+            seed_scan_workers=params.seed_scan_workers or None,
+            congest_pipeline_seed_fix=params.congest_pipeline_seed_fix or None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # JSON round trip
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if getattr(self, f.name) is not None
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "ExecutionConfig":
+        known = {f.name for f in fields(ExecutionConfig)}
+        return ExecutionConfig(**{k: v for k, v in d.items() if k in known})
+
+    def with_(self, **kwargs) -> "ExecutionConfig":
+        return replace(self, **kwargs)

@@ -1,0 +1,154 @@
+"""The typed ``(problem, model)`` solver registry behind ``repro.solve``.
+
+Theorem 1 is one statement — deterministic MIS and maximal matching in
+``O(log Delta + log log n)`` MPC rounds — but the repo grew six entry
+points for it, one per model/problem combination.  The registry treats
+"same problem, different model" as a single parameterized surface (the way
+Pai–Pemmaraju's deterministic ruling-set framework and the
+sparsity-aware unification of Censor-Hillel et al. state one interface per
+problem family): every solver is a :class:`SolverEntry` keyed by
+``(problem, model)`` with capability metadata, and downstream layers — the
+batch runtime, the cross-model runner, the CLI — *enumerate the registry*
+instead of hard-coding problem lists.  Registering a new entry makes it
+instantly batch-runnable (``repro batch``), cross-model-billable
+(``repro crossmodel``), and CLI-reachable (``repro solve``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = [
+    "REGISTRY",
+    "SolverCapabilities",
+    "SolverEntry",
+    "SolverRegistry",
+    "register_solver",
+]
+
+
+@dataclass(frozen=True)
+class SolverCapabilities:
+    """What a registry entry can deliver beyond the solution itself."""
+
+    snapshot: bool = False  # returns a ModelSnapshot round/word bill
+    certificate: bool = True  # result is verified against the input graph
+    packed_planes: bool = False  # accepts a scheduler-shipped arc plane
+    force_path: bool = False  # honors force="general" | "lowdeg"
+    trace_records: bool = False  # raw result carries per-iteration records
+
+    def flags(self) -> str:
+        """Compact display string, e.g. ``"snapshot,certificate"``."""
+        names = [
+            name
+            for name in (
+                "snapshot",
+                "certificate",
+                "packed_planes",
+                "force_path",
+                "trace_records",
+            )
+            if getattr(self, name)
+        ]
+        return ",".join(names)
+
+
+@dataclass(frozen=True)
+class SolverEntry:
+    """One ``(problem, model)`` solver plus its metadata."""
+
+    problem: str
+    model: str
+    fn: Callable = field(compare=False, repr=False)  # (graph, request, params)
+    capabilities: SolverCapabilities = field(default_factory=SolverCapabilities)
+    description: str = ""
+    legacy_entry: str = ""  # dotted name of the shimmed historical entry point
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.problem, self.model)
+
+
+class SolverRegistry:
+    """Mapping ``(problem, model) -> SolverEntry`` with stable iteration."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, str], SolverEntry] = {}
+
+    def register(self, entry: SolverEntry) -> SolverEntry:
+        """Add (or replace) an entry.
+
+        The problem/model axes are *open*: any non-empty identifier is a
+        legal key, so a new problem or model is introduced by registering
+        it — :class:`~repro.api.envelope.SolveRequest` validates against
+        the registry, and the runtime derives its job names from it.  (A
+        new *model* additionally wants a short batch-name prefix; see
+        :func:`repro.runtime.spec.register_model_prefix`.)
+        """
+        for axis, value in (("problem", entry.problem), ("model", entry.model)):
+            if not value or not isinstance(value, str):
+                raise ValueError(f"{axis} must be a non-empty string, got {value!r}")
+        self._entries[entry.key] = entry
+        return entry
+
+    def get(self, problem: str, model: str) -> SolverEntry:
+        try:
+            return self._entries[(problem, model)]
+        except KeyError:
+            known = ", ".join(f"{p}/{m}" for p, m in sorted(self._entries))
+            raise KeyError(
+                f"no solver registered for problem={problem!r} model={model!r}; "
+                f"known entries: {known}"
+            ) from None
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return tuple(key) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[SolverEntry]:
+        """All entries, ordered by (problem, model) for stable display."""
+        return [self._entries[k] for k in sorted(self._entries)]
+
+    def problems(self) -> list[str]:
+        return sorted({p for p, _ in self._entries})
+
+    def models(self, problem: str | None = None) -> list[str]:
+        """Models available (optionally restricted to one problem)."""
+        if problem is None:
+            return sorted({m for _, m in self._entries})
+        return sorted({m for p, m in self._entries if p == problem})
+
+
+#: The process-global registry ``repro.api.solve`` dispatches through.
+#: Built-in entries are registered on import of :mod:`repro.api.solvers`.
+REGISTRY = SolverRegistry()
+
+
+def register_solver(
+    problem: str,
+    model: str,
+    *,
+    capabilities: SolverCapabilities | None = None,
+    description: str = "",
+    legacy_entry: str = "",
+    registry: SolverRegistry | None = None,
+):
+    """Decorator: register an adapter ``fn(graph, request, params)``."""
+
+    def deco(fn):
+        (registry or REGISTRY).register(
+            SolverEntry(
+                problem=problem,
+                model=model,
+                fn=fn,
+                capabilities=capabilities or SolverCapabilities(),
+                description=description,
+                legacy_entry=legacy_entry,
+            )
+        )
+        return fn
+
+    return deco

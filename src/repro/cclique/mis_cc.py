@@ -75,6 +75,8 @@ def cc_mis(
     max_scan_trials: int = 512,
     max_phases: int = 10_000,
     ctx: CongestedCliqueContext | None = None,
+    seed_backend: str | None = None,
+    seed_chunk: int | None = None,
 ) -> CCResult:
     """Deterministic MIS in CONGESTED CLIQUE.
 
@@ -82,6 +84,13 @@ def cc_mis(
     ``charge_mode='chps'`` charges ``seed_bits`` rounds per phase (the
     bit-by-bit voting derandomization of [15]'s general path).  Passing a
     ``ctx`` lets callers (the cross-model runner, tests) own the ledger.
+    ``seed_backend`` / ``seed_chunk`` select the seed-scan evaluation
+    backend (``None`` resolves through the environment, and ``batched`` vs
+    ``scalar`` is bit-identical by contract).
+
+    .. note:: Prefer ``repro.api.solve(SolveRequest(problem="mis",
+       model="cclique", graph=g))``; this entry point stays as a
+       bit-identical thin path for existing callers.
     """
     if charge_mode not in ("ours", "chps"):
         raise ValueError("charge_mode must be 'ours' or 'chps'")
@@ -129,6 +138,8 @@ def cc_mis(
             target=target,
             max_trials=max_scan_trials,
             start=start,
+            backend=seed_backend,
+            chunk_size=seed_chunk,
         )
         one = np.array([sel.seed], dtype=np.int64)
         i_masks, kills = kill_masks(one)
@@ -179,6 +190,8 @@ def cc_maximal_matching(
     max_scan_trials: int = 512,
     max_phases: int = 10_000,
     ctx: CongestedCliqueContext | None = None,
+    seed_backend: str | None = None,
+    seed_chunk: int | None = None,
 ) -> CCResult:
     """Deterministic maximal matching in CONGESTED CLIQUE (Corollary 2)."""
     if charge_mode not in ("ours", "chps"):
@@ -229,6 +242,8 @@ def cc_maximal_matching(
             target=target,
             max_trials=max_scan_trials,
             start=start,
+            backend=seed_backend,
+            chunk_size=seed_chunk,
         )
         mm = matched_masks(np.array([sel.seed], dtype=np.int64))[0]
         eid_sel = np.nonzero(mm)[0]

@@ -58,6 +58,9 @@ def congest_mis(
     max_scan_trials: int = 512,
     max_phases: int = 10_000,
     ctx: CongestContext | None = None,
+    pipeline_seed_fix: bool = False,
+    seed_backend: str | None = None,
+    seed_chunk: int | None = None,
 ) -> CongestMISResult:
     """Deterministic MIS with CONGEST round accounting.
 
@@ -65,10 +68,17 @@ def congest_mis(
     ``"color-compressed"`` (Section-5 style color seeds,
     Theta(D log Delta)/phase after O(log* n) preprocessing).  Passing a
     ``ctx`` lets callers (the cross-model runner, tests) own the ledger.
+    ``pipeline_seed_fix`` bills the BFS-pipelined ``O(D + seed_bits)``
+    seed broadcast instead of the sequential ``2 D seed_bits`` charge
+    (ablation; ignored when an explicit ``ctx`` is supplied).
+
+    .. note:: Prefer ``repro.api.solve(SolveRequest(problem="mis",
+       model="congest", graph=g))``; this entry point stays as a
+       bit-identical thin path for existing callers.
     """
     if mode not in ("voting", "color-compressed"):
         raise ValueError("mode must be 'voting' or 'color-compressed'")
-    ctx = ctx or CongestContext(graph)
+    ctx = ctx or CongestContext(graph, pipeline_seed_fix=pipeline_seed_fix)
     n = graph.n
 
     if mode == "color-compressed" and graph.m > 0:
@@ -127,6 +137,8 @@ def congest_mis(
             target=g.m / 120.0,  # conservative Luby-constant target
             max_trials=max_scan_trials,
             start=start,
+            backend=seed_backend,
+            chunk_size=seed_chunk,
         )
         i_masks, kills = kill_of(np.array([sel.seed], dtype=np.int64))
         i_mask, kill = i_masks[0], kills[0]
@@ -156,6 +168,9 @@ def congest_maximal_matching(
     *,
     mode: str = "color-compressed",
     max_scan_trials: int = 512,
+    pipeline_seed_fix: bool = False,
+    seed_backend: str | None = None,
+    seed_chunk: int | None = None,
 ) -> CongestMISResult:
     """Maximal matching in CONGEST via MIS on the line graph.
 
@@ -178,4 +193,11 @@ def congest_maximal_matching(
             snapshot=CongestContext(graph).model_snapshot(),
         )
     lg = line_graph(graph)
-    return congest_mis(lg, mode=mode, max_scan_trials=max_scan_trials)
+    return congest_mis(
+        lg,
+        mode=mode,
+        max_scan_trials=max_scan_trials,
+        pipeline_seed_fix=pipeline_seed_fix,
+        seed_backend=seed_backend,
+        seed_chunk=seed_chunk,
+    )

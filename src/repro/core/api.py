@@ -51,21 +51,31 @@ def maximal_independent_set(
     params: Params | None = None,
     force: str | None = None,
     paper_rule: bool = False,
+    ctx=None,
 ) -> MISResult:
     """Deterministic MIS, ``O(log Delta + log log n)`` rounds (Theorem 1).
 
     ``force`` may be ``"general"`` or ``"lowdeg"`` to pin the code path.
+    Passing a ``ctx`` (:class:`~repro.mpc.context.MPCContext`) lets callers
+    own the round/space ledger.
+
+    .. note:: Prefer the unified facade
+       ``repro.api.solve(SolveRequest(problem="mis", model="simulated",
+       graph=g))`` — it returns the same result inside a
+       :class:`~repro.api.SolveResult` envelope (with the model snapshot and
+       verification certificate attached).  This entry point stays as a
+       bit-identical thin path for existing callers.
     """
     params = params or Params(eps=eps)
     if force == "general":
-        return deterministic_mis(graph, params)
+        return deterministic_mis(graph, params, ctx=ctx)
     if force == "lowdeg":
-        return lowdeg_mis(graph, params)
+        return lowdeg_mis(graph, params, ctx=ctx)
     if force is not None:
         raise ValueError(f"unknown force={force!r}")
     if uses_lowdeg_path(graph, params, paper_rule=paper_rule):
-        return lowdeg_mis(graph, params)
-    return deterministic_mis(graph, params)
+        return lowdeg_mis(graph, params, ctx=ctx)
+    return deterministic_mis(graph, params, ctx=ctx)
 
 
 def maximal_matching(
@@ -75,15 +85,21 @@ def maximal_matching(
     params: Params | None = None,
     force: str | None = None,
     paper_rule: bool = False,
+    ctx=None,
 ) -> MatchingResult:
-    """Deterministic maximal matching (Theorem 1); see MIS dispatch."""
+    """Deterministic maximal matching (Theorem 1); see MIS dispatch.
+
+    .. note:: Prefer ``repro.api.solve(SolveRequest(problem="matching",
+       model="simulated", graph=g))``; this entry point stays as a
+       bit-identical thin path for existing callers.
+    """
     params = params or Params(eps=eps)
     if force == "general":
-        return deterministic_maximal_matching(graph, params)
+        return deterministic_maximal_matching(graph, params, ctx=ctx)
     if force == "lowdeg":
-        return lowdeg_maximal_matching(graph, params)
+        return lowdeg_maximal_matching(graph, params, ctx=ctx)
     if force is not None:
         raise ValueError(f"unknown force={force!r}")
     if uses_lowdeg_path(graph, params, paper_rule=paper_rule, for_matching=True):
-        return lowdeg_maximal_matching(graph, params)
-    return deterministic_maximal_matching(graph, params)
+        return lowdeg_maximal_matching(graph, params, ctx=ctx)
+    return deterministic_maximal_matching(graph, params, ctx=ctx)

@@ -106,7 +106,12 @@ def lowdeg_mis(
 
     # ---------------- preprocessing (O(log log n) rounds) ---------------- #
     coloring = distance2_coloring(graph)
-    ctx.ledger.charge("coloring", max(1, coloring.iterations))
+    # Linial rounds exchange current colors over every edge (both directions).
+    ctx.ledger.charge(
+        "coloring",
+        max(1, coloring.iterations),
+        words=2 * graph.m * max(1, coloring.iterations),
+    )
     family = make_color_family(coloring.num_colors)
     colors = coloring.colors.astype(np.int64)
 
@@ -120,7 +125,8 @@ def lowdeg_mis(
     r = 2 * ell
     sizes = ball_sizes(graph, r)
     ctx.space.observe_loads(sizes + 1, "r-hop ball gather")
-    ctx.charge_gather_rhop(r, "preprocess_gather")
+    # Volume: every ball member is one word shipped to the node's machine.
+    ctx.charge_gather_rhop(r, "preprocess_gather", words=int(sizes.sum()))
 
     # ---------------- phases grouped into stages ------------------------- #
     in_mis = np.zeros(n, dtype=bool)
@@ -246,6 +252,7 @@ def lowdeg_mis(
         rounds_by_category=ctx.ledger.snapshot(),
         max_machine_words=ctx.space.max_machine_words,
         space_limit=ctx.S,
+        words_moved=ctx.words_moved,
         records=tuple(records),
         fidelity_events=tuple(fidelity),
         stages_compressed=stages,
@@ -279,16 +286,21 @@ def lowdeg_maximal_matching(
             records=tuple(),
         )
     lg = line_graph(graph)
-    ctx.charge_sort("line_graph")  # build L(G) by sorting arcs by endpoint
+    # Build L(G) by sorting both arc orientations by endpoint.
+    ctx.charge_sort("line_graph", words=2 * graph.m)
     sub = lowdeg_mis(lg, params)
     matched_eids = sub.independent_set
     pairs = np.stack(
         [graph.edges_u[matched_eids], graph.edges_v[matched_eids]], axis=1
     )
-    # Merge the sub-run's accounting into ours.
+    # Merge the sub-run's accounting into ours (words once, not per category).
+    merged_words = False
     for cat, amount in sub.rounds_by_category.items():
         if cat != "total":
-            ctx.ledger.charge(cat, amount)
+            ctx.ledger.charge(
+                cat, amount, words=0 if merged_words else sub.words_moved
+            )
+            merged_words = True
     return MatchingResult(
         pairs=pairs,
         iterations=sub.iterations,
@@ -296,6 +308,7 @@ def lowdeg_maximal_matching(
         rounds_by_category=ctx.ledger.snapshot(),
         max_machine_words=max(ctx.space.max_machine_words, sub.max_machine_words),
         space_limit=ctx.S,
+        words_moved=ctx.words_moved,
         records=sub.records,
         fidelity_events=sub.fidelity_events,
     )

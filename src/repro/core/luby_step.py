@@ -138,7 +138,10 @@ def luby_matching_step(
     b_ids = np.nonzero(good.b_mask)[0]
     if b_ids.size:
         ctx.space.observe_loads(two_hop[b_ids], "2-hop E* gather")
-    ctx.charge_gather_2hop("luby_gather")
+    # Volume: every gathered 2-hop item is one word shipped to x_v.
+    ctx.charge_gather_2hop(
+        "luby_gather", words=int(two_hop[b_ids].sum()) if b_ids.size else 0
+    )
 
     family = _choose_z_family(g.m, params)
     # Local-minimum keys: z * (m + 1) + edge_id, strict total order.
@@ -239,7 +242,9 @@ def luby_mis_step(
     b_ids = np.nonzero(good.b_mask)[0]
     if b_ids.size:
         ctx.space.observe_loads(words[b_ids], "N_v gather")
-    ctx.charge_gather_2hop("luby_gather")
+    ctx.charge_gather_2hop(
+        "luby_gather", words=int(words[b_ids].sum()) if b_ids.size else 0
+    )
 
     family = _choose_z_family(g.n, params)
     stride = np.uint64(g.n + 1)

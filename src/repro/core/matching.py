@@ -122,6 +122,7 @@ def deterministic_maximal_matching(
         rounds_by_category=ctx.ledger.snapshot(),
         max_machine_words=ctx.space.max_machine_words,
         space_limit=ctx.S,
+        words_moved=ctx.words_moved,
         records=tuple(records),
         fidelity_events=tuple(fidelity),
     )

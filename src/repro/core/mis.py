@@ -118,6 +118,7 @@ def deterministic_mis(
         rounds_by_category=ctx.ledger.snapshot(),
         max_machine_words=ctx.space.max_machine_words,
         space_limit=ctx.S,
+        words_moved=ctx.words_moved,
         records=tuple(records),
         fidelity_events=tuple(fidelity),
     )

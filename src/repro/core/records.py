@@ -88,6 +88,7 @@ class MatchingResult:
     space_limit: int
     records: tuple[IterationRecord, ...] = field(repr=False)
     fidelity_events: tuple[str, ...] = ()
+    words_moved: int = 0  # communication volume in O(log n)-bit words
 
     @property
     def matched_nodes(self) -> np.ndarray:
@@ -114,6 +115,7 @@ class MISResult:
     space_limit: int
     records: tuple[IterationRecord, ...] = field(repr=False)
     fidelity_events: tuple[str, ...] = ()
+    words_moved: int = 0  # communication volume in O(log n)-bit words
     stages_compressed: int = 0  # Section-5 runs: number of compressed stages
     num_colors: int = 0  # Section-5 runs: palette size of the G^2 coloring
 
@@ -181,6 +183,7 @@ def result_to_payload(
         "rounds_by_category": _plain(result.rounds_by_category),
         "max_machine_words": int(result.max_machine_words),
         "space_limit": int(result.space_limit),
+        "words_moved": int(result.words_moved),
         "fidelity_events": [str(e) for e in result.fidelity_events],
         "records": [_iteration_to_dict(r) for r in result.records],
     }
@@ -208,6 +211,7 @@ def result_from_payload(
         },
         max_machine_words=int(meta["max_machine_words"]),
         space_limit=int(meta["space_limit"]),
+        words_moved=int(meta.get("words_moved", 0)),
         records=tuple(_iteration_from_dict(r) for r in meta["records"]),
         fidelity_events=tuple(meta["fidelity_events"]),
     )

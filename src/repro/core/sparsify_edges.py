@@ -106,7 +106,10 @@ def sparsify_edges(
         units_b = np.concatenate([eid_bu, eid_bv])
         grouping_b = chunk_items_by_group(groups_b, chunk)
 
-        ctx.charge_sort("sparsify_distribute")
+        # Distribution volume: one word per arc shipped to its group machine.
+        ctx.charge_sort(
+            "sparsify_distribute", words=int(groups_a.size + groups_b.size)
+        )
         ctx.space.observe_loads(grouping_a.loads, "type-A edge distribution")
         ctx.space.observe_loads(grouping_b.loads, "type-B edge distribution")
 

@@ -107,7 +107,10 @@ def sparsify_nodes(
         grouping_b = chunk_items_by_group(groups_b, chunk)
         weights_b = weights_of_node[units_b]
 
-        ctx.charge_sort("sparsify_distribute")
+        # Distribution volume: one word per arc shipped to its group machine.
+        ctx.charge_sort(
+            "sparsify_distribute", words=int(groups_q.size + groups_b.size)
+        )
         ctx.space.observe_loads(grouping_q.loads, "type-Q node distribution")
         ctx.space.observe_loads(grouping_b.loads, "type-B node distribution")
 

@@ -23,13 +23,16 @@ algebra, the caller can derive per-node bounds directly from the realised
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..derand.estimators import certified_slacks
-from ..derand.strategies import SeedSelection, select_seed_batch
+from ..derand.strategies import (
+    SeedSelection,
+    resolve_seed_workers,
+    select_seed_batch,
+)
 from ..graphs.kernels import (
     HAS_SCIPY,
     group_order_indptr,
@@ -372,9 +375,7 @@ def run_stage_seed_search(
     )
 
     goodness = StageGoodness(family, threshold, groups, mus, base_slacks)
-    workers = params.seed_scan_workers or int(
-        os.environ.get("REPRO_SEED_WORKERS", "0") or 0
-    )
+    workers = resolve_seed_workers(params.seed_scan_workers)
 
     kappa = float(max(n, 2) ** (0.1 * params.delta_value))
     escalations = 0

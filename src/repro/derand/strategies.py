@@ -75,6 +75,7 @@ __all__ = [
     "iter_seed_blocks",
     "resolve_seed_backend",
     "resolve_seed_chunk",
+    "resolve_seed_workers",
     "scan_regions",
     "select_seed",
     "select_seed_batch",
@@ -118,6 +119,20 @@ def resolve_seed_chunk(chunk_size: int | None = None) -> int:
     resolved = chunk_size or int(os.environ.get("REPRO_SEED_CHUNK", DEFAULT_SEED_CHUNK))
     if resolved < 1:
         raise ValueError(f"seed chunk size must be >= 1, got {resolved}")
+    return resolved
+
+
+def resolve_seed_workers(workers: int | None = None) -> int:
+    """Process count for the parallel stage scan (``REPRO_SEED_WORKERS``).
+
+    ``0`` / ``None`` falls back to the environment; the serial scan runs
+    unless the resolved value is ``> 1``.  This is the single place the
+    variable is read (``ExecutionConfig`` and the stage search both resolve
+    through it).
+    """
+    resolved = workers or int(os.environ.get("REPRO_SEED_WORKERS", "0") or 0)
+    if resolved < 0:
+        raise ValueError(f"seed scan workers must be >= 0, got {resolved}")
     return resolved
 
 

@@ -19,13 +19,17 @@ rebuild paths.  That equivalence is enforced by property tests and by the
 ``bench_kernels`` regression gate.
 
 Backend selection: solvers take ``backend="csr" | "legacy" | None``; ``None``
-resolves through the ``REPRO_KERNEL_BACKEND`` environment variable and
-defaults to ``"csr"``.
+resolves through a process-local override (see :func:`kernel_backend_scope`,
+which :func:`repro.api.solve` uses to apply a consolidated
+:class:`~repro.api.ExecutionConfig`), then the ``REPRO_KERNEL_BACKEND``
+environment variable, and defaults to ``"csr"``.
 """
 
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
+from contextvars import ContextVar
 
 import numpy as np
 
@@ -40,6 +44,7 @@ __all__ = [
     "group_order_indptr",
     "neighbor_count_toward",
     "neighbor_min",
+    "kernel_backend_scope",
     "resolve_backend",
     "segment_any_block_fn",
     "segment_count_2d",
@@ -61,14 +66,49 @@ except ImportError:  # pragma: no cover - scipy ships in the standard env
     HAS_SCIPY = False
 
 
+_BACKEND_OVERRIDE: ContextVar[str | None] = ContextVar(
+    "repro_kernel_backend_override", default=None
+)
+
+
 def resolve_backend(backend: str | None = None) -> str:
-    """Resolve an explicit or environment-selected kernel backend."""
-    resolved = backend or os.environ.get("REPRO_KERNEL_BACKEND", DEFAULT_BACKEND)
+    """Resolve an explicit, scoped, or environment-selected kernel backend."""
+    resolved = (
+        backend
+        or _BACKEND_OVERRIDE.get()
+        or os.environ.get("REPRO_KERNEL_BACKEND", DEFAULT_BACKEND)
+    )
     if resolved not in BACKENDS:
         raise ValueError(
             f"unknown kernel backend {resolved!r}; expected one of {BACKENDS}"
         )
     return resolved
+
+
+@contextmanager
+def kernel_backend_scope(backend: str | None):
+    """Pin the kernel backend for every ``resolve_backend(None)`` call inside.
+
+    ``None`` is a no-op scope (environment fallback stays live).  This is how
+    an :class:`~repro.api.ExecutionConfig` reaches kernel call sites that do
+    not thread an explicit ``backend`` argument, without mutating
+    ``os.environ``.  Scopes nest (the innermost non-``None`` value wins) and
+    the override is a :class:`~contextvars.ContextVar`, so concurrent
+    ``solve()`` calls in different threads or tasks cannot contaminate each
+    other.
+    """
+    if backend is None:
+        yield
+        return
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {backend!r}; expected one of {BACKENDS}"
+        )
+    token = _BACKEND_OVERRIDE.set(backend)
+    try:
+        yield
+    finally:
+        _BACKEND_OVERRIDE.reset(token)
 
 
 # ---------------------------------------------------------------------- #

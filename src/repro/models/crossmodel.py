@@ -1,38 +1,35 @@
-"""Run one problem under all three cost models and collect the bills.
+"""Run one problem under all cost models and collect the bills.
 
-This is the payoff of the shared
-:class:`~repro.models.ledger.RoundLedgerProtocol`: the same input graph is
-solved by the low-space MPC driver, the CONGESTED CLIQUE solver and the
-CONGEST solver, each charging its own context, and the three
+This is a thin loop over the :data:`repro.api.REGISTRY`: for every model
+registered for the problem, one :func:`repro.api.solve` call produces a
+:class:`~repro.api.SolveResult`, and the
 :class:`~repro.models.ledger.ModelSnapshot`s come back side by side for
 :func:`repro.analysis.report.cross_model_report` (and the ``cross-model``
-workload suite) to render.
+workload suite) to render.  There is no per-model dispatch here — a new
+model registered for the problem shows up as a new row automatically.
 
 The solutions are *not* expected to coincide across models -- each model
 runs its own deterministic algorithm -- but each is verified against the
-input graph, so the run certifies three valid solutions plus three
-comparable round/communication bills.
+input graph (the facade's certificate), so the run certifies one valid
+solution plus one comparable round/communication bill per model.
+
+The default row set matches the paper's three accounting models (MPC,
+CONGESTED CLIQUE, CONGEST); ``include_engine=True`` adds the literal
+message-passing engine as a fourth row for problems it supports.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from ..cclique.mis_cc import cc_maximal_matching, cc_mis
-from ..congest.mis_congest import congest_maximal_matching, congest_mis
-from ..core.api import uses_lowdeg_path
-from ..core.lowdeg import lowdeg_maximal_matching, lowdeg_mis
-from ..core.matching import deterministic_maximal_matching
-from ..core.mis import deterministic_mis
 from ..core.params import Params
 from ..graphs.graph import Graph
-from ..mpc.context import MPCContext
-from ..verify import verify_matching_pairs, verify_mis_nodes
 from .ledger import ModelSnapshot
 
 __all__ = ["CrossModelRun", "cross_model_run"]
+
+#: Facade model keys in display order (the engine row is opt-in).
+_DEFAULT_MODELS = ("simulated", "cclique", "congest")
 
 
 @dataclass(frozen=True)
@@ -63,85 +60,50 @@ class CrossModelRun:
         }
 
 
-def _mpc_solve(graph: Graph, problem: str, params: Params):
-    """Solve on the MPC accounting layer with an injected context."""
-    ctx = MPCContext(
-        n=graph.n,
-        m=graph.m,
-        eps=params.eps,
-        space_factor=params.space_factor,
-        total_factor=params.total_factor,
-    )
-    if problem == "mis":
-        if uses_lowdeg_path(graph, params):
-            res = lowdeg_mis(graph, params, ctx=ctx)
-        else:
-            res = deterministic_mis(graph, params, ctx=ctx)
-        ok = bool(verify_mis_nodes(graph, res.independent_set))
-        size = int(res.independent_set.size)
-    else:
-        if uses_lowdeg_path(graph, params, for_matching=True):
-            res = lowdeg_maximal_matching(graph, params, ctx=ctx)
-        else:
-            res = deterministic_maximal_matching(graph, params, ctx=ctx)
-        ok = bool(verify_matching_pairs(graph, res.pairs))
-        size = int(res.pairs.shape[0])
-    return ctx.model_snapshot(), size, ok
-
-
 def cross_model_run(
     graph: Graph,
     problem: str = "mis",
     *,
     params: Params | None = None,
-    max_scan_trials: int = 512,
+    max_scan_trials: int | None = None,
+    include_engine: bool = False,
 ) -> CrossModelRun:
-    """Solve ``problem`` on ``graph`` under MPC, CLIQUE and CONGEST.
+    """Solve ``problem`` on ``graph`` under every registered cost model.
 
-    Returns the three model snapshots plus per-model solution sizes and a
-    combined verification flag.
+    Returns the model snapshots plus per-model solution sizes and a
+    combined verification flag.  Rows come straight from the solver
+    registry: the MPC accounting layer, CONGESTED CLIQUE and CONGEST by
+    default, plus the literal MPC engine with ``include_engine=True``.
+
+    ``max_scan_trials`` (when given) overrides ``params.max_scan_trials``
+    for *every* row; with ``None`` the params value governs all rows.
     """
+    from ..api import REGISTRY, SolveRequest, solve
+
     if problem not in ("mis", "matching"):
         raise ValueError(f"cross-model problem must be mis|matching, got {problem!r}")
     params = params or Params()
+    if max_scan_trials is not None:
+        params = params.with_(max_scan_trials=max_scan_trials)
 
-    mpc_snap, mpc_size, mpc_ok = _mpc_solve(graph, problem, params)
+    models = _DEFAULT_MODELS + (("mpc-engine",) if include_engine else ())
+    snapshots: list[ModelSnapshot] = []
+    sizes: list[tuple[str, int]] = []
+    all_verified = True
+    for model in models:
+        if (problem, model) not in REGISTRY:
+            continue
+        res = solve(SolveRequest(problem=problem, model=model, graph=graph, params=params))
+        all_verified = all_verified and res.verified
+        if res.snapshot is not None:
+            snapshots.append(res.snapshot)
+            sizes.append((res.snapshot.model, res.solution_size))
 
-    if problem == "mis":
-        cc = cc_mis(graph, max_scan_trials=max_scan_trials)
-        cc_ok = bool(verify_mis_nodes(graph, cc.solution))
-        cc_size = int(cc.solution.size)
-        cg = congest_mis(graph, max_scan_trials=max_scan_trials)
-        cg_ok = bool(verify_mis_nodes(graph, cg.independent_set))
-        cg_size = int(cg.independent_set.size)
-        cg_snap = cg.snapshot
-    else:
-        cc = cc_maximal_matching(graph, max_scan_trials=max_scan_trials)
-        cc_ok = bool(verify_matching_pairs(graph, cc.solution))
-        cc_size = int(cc.solution.shape[0])
-        cg = congest_maximal_matching(graph, max_scan_trials=max_scan_trials)
-        if graph.m:
-            eids = cg.independent_set
-            pairs = np.stack([graph.edges_u[eids], graph.edges_v[eids]], axis=1)
-        else:
-            pairs = np.empty((0, 2), dtype=np.int64)
-        cg_ok = bool(verify_matching_pairs(graph, pairs))
-        cg_size = int(pairs.shape[0])
-        # Matching in CONGEST runs MIS on the line graph; the snapshot's
-        # graph detail therefore describes the line graph, which is the
-        # honest communication structure of the simulated run.
-        cg_snap = cg.snapshot
-
-    snaps = (mpc_snap, cc.snapshot, cg_snap)
     return CrossModelRun(
         problem=problem,
         graph_n=graph.n,
         graph_m=graph.m,
-        snapshots=tuple(s for s in snaps if s is not None),
-        solution_sizes=(
-            ("mpc", mpc_size),
-            ("congested-clique", cc_size),
-            ("congest", cg_size),
-        ),
-        all_verified=bool(mpc_ok and cc_ok and cg_ok),
+        snapshots=tuple(snapshots),
+        solution_sizes=tuple(sizes),
+        all_verified=all_verified,
     )

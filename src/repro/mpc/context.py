@@ -135,28 +135,49 @@ class MPCContext:
 
     # ------------------------------------------------------------------ #
     # Charging helpers (delegate to the ledger with model constants)
+    #
+    # Each helper also bills *communication volume* (``words_moved``):
+    # aggregation-shaped primitives default to one word per machine per
+    # round (partials up / winner down); data-shuffling primitives (sort,
+    # gather) take the item count from the call site, which knows it.
     # ------------------------------------------------------------------ #
 
-    def charge_sort(self, category: str = "sort") -> None:
-        self.ledger.charge_sort(category)
+    def charge_sort(self, category: str = "sort", *, words: int = 0) -> None:
+        self.ledger.charge_sort(category, words=words)
 
-    def charge_prefix_sum(self, category: str = "prefix_sum") -> None:
-        self.ledger.charge_prefix_sum(category)
+    def charge_prefix_sum(
+        self, category: str = "prefix_sum", *, words: int | None = None
+    ) -> None:
+        words = self.num_machines if words is None else words
+        self.ledger.charge_prefix_sum(category, words=words)
 
-    def charge_aggregate(self, category: str = "aggregate") -> None:
-        self.ledger.charge_aggregate(category)
+    def charge_aggregate(
+        self, category: str = "aggregate", *, words: int | None = None
+    ) -> None:
+        words = self.num_machines if words is None else words
+        self.ledger.charge_aggregate(category, words=words)
 
-    def charge_broadcast(self, category: str = "broadcast") -> None:
-        self.ledger.charge_broadcast(category)
+    def charge_broadcast(
+        self, category: str = "broadcast", *, words: int | None = None
+    ) -> None:
+        words = self.num_machines if words is None else words
+        self.ledger.charge_broadcast(category, words=words)
 
-    def charge_gather_2hop(self, category: str = "gather") -> None:
-        self.ledger.charge_gather_2hop(category)
+    def charge_gather_2hop(self, category: str = "gather", *, words: int = 0) -> None:
+        self.ledger.charge_gather_2hop(category, words=words)
 
-    def charge_gather_rhop(self, r: int, category: str = "gather") -> None:
-        self.ledger.charge_gather_rhop(r, category)
+    def charge_gather_rhop(
+        self, r: int, category: str = "gather", *, words: int = 0
+    ) -> None:
+        self.ledger.charge_gather_rhop(r, category, words=words)
 
     def charge_seed_fix(self, seed_bits: int, category: str = "seed_fix") -> None:
-        self.ledger.charge_seed_fix(seed_bits, self.chunk_bits, category)
+        # Conditional expectations: every chunk aggregates one partial per
+        # machine and broadcasts the winning extension back.
+        chunks = max(1, math.ceil(max(1, seed_bits) / self.chunk_bits))
+        self.ledger.charge_seed_fix(
+            seed_bits, self.chunk_bits, category, words=chunks * 2 * self.num_machines
+        )
 
     @property
     def rounds(self) -> int:

@@ -91,28 +91,37 @@ class RoundLedger:
 
     # Convenience wrappers keeping call sites declarative -------------- #
 
-    def charge_sort(self, category: str = "sort") -> None:
-        self.charge(category, self.costs.sort)
+    def charge_sort(self, category: str = "sort", *, words: int = 0) -> None:
+        self.charge(category, self.costs.sort, words=words)
 
-    def charge_prefix_sum(self, category: str = "prefix_sum") -> None:
-        self.charge(category, self.costs.prefix_sum)
+    def charge_prefix_sum(
+        self, category: str = "prefix_sum", *, words: int = 0
+    ) -> None:
+        self.charge(category, self.costs.prefix_sum, words=words)
 
-    def charge_aggregate(self, category: str = "aggregate") -> None:
-        self.charge(category, self.costs.aggregate)
+    def charge_aggregate(self, category: str = "aggregate", *, words: int = 0) -> None:
+        self.charge(category, self.costs.aggregate, words=words)
 
-    def charge_broadcast(self, category: str = "broadcast") -> None:
-        self.charge(category, self.costs.broadcast)
+    def charge_broadcast(self, category: str = "broadcast", *, words: int = 0) -> None:
+        self.charge(category, self.costs.broadcast, words=words)
 
-    def charge_gather_2hop(self, category: str = "gather") -> None:
-        self.charge(category, self.costs.gather_2hop)
+    def charge_gather_2hop(self, category: str = "gather", *, words: int = 0) -> None:
+        self.charge(category, self.costs.gather_2hop, words=words)
 
-    def charge_gather_rhop(self, r: int, category: str = "gather") -> None:
-        self.charge(category, self.costs.gather_rhop(r))
+    def charge_gather_rhop(
+        self, r: int, category: str = "gather", *, words: int = 0
+    ) -> None:
+        self.charge(category, self.costs.gather_rhop(r), words=words)
 
     def charge_seed_fix(
-        self, seed_bits: int, chunk_bits: int, category: str = "seed_fix"
+        self,
+        seed_bits: int,
+        chunk_bits: int,
+        category: str = "seed_fix",
+        *,
+        words: int = 0,
     ) -> None:
-        self.charge(category, self.costs.seed_fix(seed_bits, chunk_bits))
+        self.charge(category, self.costs.seed_fix(seed_bits, chunk_bits), words=words)
 
     def snapshot(self) -> dict[str, int]:
         out = dict(self.by_category)

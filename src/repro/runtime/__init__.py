@@ -17,7 +17,14 @@ The substrate for serving many solves efficiently:
 from .cache import CacheEntry, CacheStats, ResultCache
 from .scheduler import BatchResult, BatchStats, Scheduler
 from .seed_scan import parallel_scan
-from .spec import PROBLEMS, GraphSource, JobResult, JobSpec
+from .spec import (
+    PROBLEMS,
+    GraphSource,
+    JobResult,
+    JobSpec,
+    runtime_entry,
+    runtime_problem_name,
+)
 from .suites import (
     WorkloadSuite,
     build_suite,
@@ -46,4 +53,6 @@ __all__ = [
     "parallel_scan",
     "register_suite",
     "run_job",
+    "runtime_entry",
+    "runtime_problem_name",
 ]

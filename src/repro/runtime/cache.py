@@ -76,13 +76,21 @@ class CacheEntry:
     def load_result(self):
         """Rebuild the stored result object (if one was stored).
 
-        MIS / matching jobs rebuild their full result record; cross-model
-        jobs (cc_mis / congest_mis / engine_mis) stored the run's
-        :class:`~repro.models.ledger.ModelSnapshot` instead.
+        Facade-era entries store the unified
+        :class:`~repro.api.SolveResult` envelope (kind ``"solve_result"``)
+        and rebuild it — solution array, model snapshot, and (for simulated
+        MIS/matching) the full trace record.  Pre-facade entries still load:
+        MIS / matching jobs rebuild their result record; cross-model jobs
+        stored the run's :class:`~repro.models.ledger.ModelSnapshot`.
         """
         if self.result_meta is None:
             return None
-        if self.result_meta.get("kind") == "model_snapshot":
+        kind = self.result_meta.get("kind")
+        if kind == "solve_result":
+            from ..api import SolveResult
+
+            return SolveResult.from_payload(self.result_meta, self.arrays())
+        if kind == "model_snapshot":
             from ..models.ledger import ModelSnapshot
 
             return ModelSnapshot.from_dict(self.result_meta["model_snapshot"])

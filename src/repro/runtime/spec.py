@@ -24,30 +24,104 @@ import hashlib
 import json
 from dataclasses import dataclass, field, fields, replace
 
+from ..api.registry import REGISTRY
 from ..graphs import generators as _generators
 from ..graphs.graph import Graph
 from ..graphs.io import read_edge_list
 from ..core.params import Params
 
-__all__ = ["ENGINE_PROBLEMS", "GraphSource", "JobResult", "JobSpec", "PROBLEMS"]
+__all__ = [
+    "ENGINE_PROBLEMS",
+    "GraphSource",
+    "JobResult",
+    "JobSpec",
+    "PROBLEMS",
+    "register_model_prefix",
+    "runtime_entry",
+    "runtime_problem_name",
+]
 
-#: Problems the runtime can dispatch: the Theorem-1 primitives, the
-#: ``core.derived`` corollaries (vertex cover, coloring, 2-ruling set), and
-#: the cross-model runs (CONGESTED CLIQUE, CONGEST, the literal MPC engine).
-PROBLEMS = (
-    "mis",
-    "matching",
-    "vc",
-    "coloring",
-    "ruling2",
-    "cc_mis",
-    "congest_mis",
-    "engine_mis",
-)
+#: Short runtime prefix per non-default facade model.  The simulated model
+#: keeps bare problem names ("mis", "matching", ...) for continuity with
+#: historical specs and cache keys.
+_MODEL_PREFIX = {"cclique": "cc", "congest": "congest", "mpc-engine": "engine"}
+_PREFIX_MODEL = {v: k for k, v in _MODEL_PREFIX.items()}
+
+
+def register_model_prefix(model: str, prefix: str) -> None:
+    """Give a newly registered facade model a runtime job-name prefix.
+
+    A new *problem* under an existing model needs nothing (names derive
+    automatically); a new *model* registers its short prefix once here so
+    ``runtime_problem_name`` / ``runtime_entry`` stay bijective.
+    """
+    if not prefix or "_" in prefix:
+        raise ValueError(f"prefix must be non-empty and underscore-free: {prefix!r}")
+    existing = _PREFIX_MODEL.get(prefix)
+    if existing is not None and existing != model:
+        raise ValueError(f"prefix {prefix!r} already maps to model {existing!r}")
+    _MODEL_PREFIX[model] = prefix
+    _PREFIX_MODEL[prefix] = model
+
+
+def runtime_problem_name(problem: str, model: str) -> str:
+    """The runtime job name of a registry entry (``cc_mis``, ``mis``, ...)."""
+    if model == "simulated":
+        return problem
+    try:
+        prefix = _MODEL_PREFIX[model]
+    except KeyError:
+        raise KeyError(
+            f"model {model!r} has no runtime prefix; call "
+            f"register_model_prefix({model!r}, <prefix>) once"
+        ) from None
+    return f"{prefix}_{problem}"
+
+
+def runtime_entry(name: str) -> tuple[str, str]:
+    """Invert :func:`runtime_problem_name`: job name -> (problem, model).
+
+    A name starting with a model prefix is read as that model's entry
+    *only when the registry confirms it*; otherwise the whole name is a
+    simulated-model problem (so a registered simulated problem that
+    happens to start with ``cc_`` / ``congest_`` / ``engine_`` still
+    resolves to itself).  A name valid under both readings is rejected —
+    rename the simulated problem rather than shadowing a model entry.
+    """
+    prefix, _, rest = name.partition("_")
+    if rest and prefix in _PREFIX_MODEL:
+        prefixed = (rest, _PREFIX_MODEL[prefix])
+        bare = (name, "simulated")
+        if prefixed in REGISTRY and bare in REGISTRY:
+            raise ValueError(
+                f"ambiguous runtime problem {name!r}: registered both as "
+                f"simulated problem {name!r} and as {prefixed}"
+            )
+        if prefixed in REGISTRY or bare not in REGISTRY:
+            return prefixed
+    return name, "simulated"
+
+
+def _registry_problems() -> tuple[str, ...]:
+    """Every registry entry as a runtime problem name, simulated first."""
+    entries = sorted(
+        REGISTRY.entries(), key=lambda e: (e.model != "simulated", e.problem, e.model)
+    )
+    return tuple(runtime_problem_name(e.problem, e.model) for e in entries)
+
+
+#: Problems the runtime can dispatch — *generated from the solver
+#: registry*, so registering a new ``(problem, model)`` entry makes it
+#: batch-runnable with no change here: the Theorem-1 primitives and
+#: ``core.derived`` corollaries on the accounting layer, plus the
+#: cross-model runs (CONGESTED CLIQUE, CONGEST, the literal MPC engine).
+PROBLEMS = _registry_problems()
 
 #: Problems that execute on the literal MPC engine; the scheduler ships
 #: these jobs the packed arc plane alongside the CSR buffers.
-ENGINE_PROBLEMS = ("engine_mis",)
+ENGINE_PROBLEMS = tuple(
+    name for name in PROBLEMS if runtime_entry(name)[1] == "mpc-engine"
+)
 
 #: Generator names a GraphSource may reference (resolved lazily so specs
 #: stay importable without building anything).
@@ -150,7 +224,9 @@ class JobSpec:
     tag: str = ""  # free-form label for reports
 
     def __post_init__(self) -> None:
-        if self.problem not in PROBLEMS:
+        # PROBLEMS is an import-time snapshot; entries registered later are
+        # accepted by consulting the live registry through runtime_entry.
+        if self.problem not in PROBLEMS and runtime_entry(self.problem) not in REGISTRY:
             raise ValueError(f"unknown problem {self.problem!r}; pick from {PROBLEMS}")
         object.__setattr__(self, "overrides", _as_pairs(self.overrides))
 

@@ -17,10 +17,13 @@ Built-ins:
   (Delta+1)-coloring, 2-ruling set) over heterogeneous inputs.
 * ``throughput-micro`` — twenty small, fixed G(n, p) solves; the standard
   workload for scheduler/cache throughput benchmarking.
-* ``cross-model`` — the same inputs solved under every cost model (MPC
-  accounting, the literal MPC engine, CONGESTED CLIQUE, CONGEST) plus the
-  2-ruling-set reduction; the workload behind the unified cross-model
-  round/communication report.
+* ``cross-model`` — the same inputs solved under every cost model
+  registered for MIS (MPC accounting, the literal MPC engine, CONGESTED
+  CLIQUE, CONGEST) plus the 2-ruling-set reduction; the workload behind
+  the unified cross-model round/communication report.
+* ``registry-matrix`` — one job per ``(problem, model)`` entry of the
+  :data:`repro.api.REGISTRY` on one shared input; the quickest full sweep
+  of the facade surface.
 """
 
 from __future__ import annotations
@@ -28,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from .spec import GraphSource, JobSpec
+from .spec import GraphSource, JobSpec, runtime_problem_name
 
 __all__ = [
     "WorkloadSuite",
@@ -147,17 +150,41 @@ def _derived_problems() -> list[JobSpec]:
 def _cross_model() -> list[JobSpec]:
     # Inputs stay small: the CONGEST bill scales with BFS depth and the
     # engine run moves real messages, so this suite is about breadth of
-    # models, not input size.
+    # models, not input size.  The model axis is *enumerated from the
+    # solver registry*: every model registered for MIS contributes a row,
+    # so a newly registered model joins the suite with no change here.
+    from ..api import REGISTRY
+
     inputs = [
         ("gnp", GraphSource.generator("gnp_random_graph", n=220, p=0.03, seed=9)),
         ("reg6", GraphSource.generator("random_regular_graph", n=200, d=6, seed=9)),
         ("grid", GraphSource.generator("grid_graph", rows=14, cols=14)),
     ]
+    problems = [
+        runtime_problem_name("mis", model) for model in REGISTRY.models("mis")
+    ] + ["ruling2"]
     specs = []
     for label, src in inputs:
-        for problem in ("mis", "cc_mis", "congest_mis", "engine_mis", "ruling2"):
+        for problem in problems:
             specs.append(JobSpec(problem, src, tag=f"{problem}-{label}"))
     return specs
+
+
+def _registry_matrix() -> list[JobSpec]:
+    # One job per registry entry on one small shared input: the quickest
+    # end-to-end exercise of the full problem x model surface (and a live
+    # demonstration that registering a solver makes it batch-runnable).
+    from ..api import REGISTRY
+
+    src = GraphSource.generator("gnp_random_graph", n=120, p=0.05, seed=13)
+    return [
+        JobSpec(
+            runtime_problem_name(e.problem, e.model),
+            src,
+            tag=f"{e.problem}-{e.model}",
+        )
+        for e in REGISTRY.entries()
+    ]
 
 
 def _throughput_micro() -> list[JobSpec]:
@@ -202,5 +229,12 @@ register_suite(
         "cross-model",
         "same inputs under MPC / engine / CLIQUE / CONGEST + 2-ruling set",
         _cross_model,
+    )
+)
+register_suite(
+    WorkloadSuite(
+        "registry-matrix",
+        "one job per (problem, model) solver-registry entry on one input",
+        _registry_matrix,
     )
 )

@@ -7,6 +7,14 @@ caught and returned as a structured payload, so a failing job never takes
 the pool down.  Timeouts use ``SIGALRM`` (POSIX), which interrupts the solve
 inside the worker instead of leaving an orphaned computation behind.
 
+Dispatch goes through the :data:`repro.api.REGISTRY` facade: the spec's
+runtime problem name maps to a ``(problem, model)`` registry key
+(:func:`~repro.runtime.spec.runtime_entry`), one :func:`repro.api.solve`
+call produces the unified :class:`~repro.api.SolveResult`, and
+:func:`payload_from_solve_result` flattens it into the worker payload the
+scheduler and cache consume.  There is no per-problem branching here —
+registering a new solver makes it batch-runnable with no worker change.
+
 The input graph arrives either as pickled-npz bytes (packed once by the
 scheduler, so N jobs on the same graph ship one buffer each without
 re-generating) or as a :class:`~repro.runtime.spec.GraphSource` to resolve
@@ -22,27 +30,16 @@ import signal
 import time
 import traceback
 
-import numpy as np
-
-from ..core.api import maximal_independent_set, maximal_matching, uses_lowdeg_path
-from ..core.derived import (
-    deterministic_coloring,
-    deterministic_ruling_set,
-    deterministic_vertex_cover,
-    is_ruling_set,
-    is_vertex_cover,
-)
-from ..core.records import result_to_payload
+from ..api import SolveRequest, SolveResult, solve
 from ..graphs.graph import Graph
 from ..graphs.io import (
     arc_plane_from_npz_bytes,
     graph_fingerprint,
     graph_from_npz_bytes,
 )
-from ..verify import verify_matching_pairs, verify_mis_nodes
-from .spec import ENGINE_PROBLEMS, JobSpec
+from .spec import ENGINE_PROBLEMS, JobSpec, runtime_entry
 
-__all__ = ["execute_spec", "run_job"]
+__all__ = ["execute_spec", "payload_from_solve_result", "run_job"]
 
 
 class JobTimeout(Exception):
@@ -53,146 +50,49 @@ def _raise_timeout(signum, frame):  # pragma: no cover - signal plumbing
     raise JobTimeout()
 
 
-def execute_spec(
-    spec: JobSpec, graph: Graph, *, arc_plane=None
-) -> dict:
+def payload_from_solve_result(result: SolveResult) -> dict:
+    """Flatten a :class:`SolveResult` into the worker payload fields.
+
+    The envelope's ``(meta, arrays)`` split rides along as
+    ``result_meta`` / ``arrays``, so a cache hit can rebuild the full
+    :class:`SolveResult` (see :meth:`repro.runtime.cache.CacheEntry.load_result`).
+    """
+    meta, arrays = result.to_payload()
+    return {
+        "verified": result.verified,
+        "solution_size": result.solution_size,
+        "path": result.path,
+        "iterations": result.iterations,
+        "rounds": result.rounds,
+        "max_machine_words": result.max_machine_words,
+        "space_limit": result.space_limit,
+        "result_meta": meta,
+        "arrays": arrays,
+    }
+
+
+def execute_spec(spec: JobSpec, graph: Graph, *, arc_plane=None) -> dict:
     """Solve one spec on a resolved graph; returns the success payload parts.
 
     Raises on failure — :func:`run_job` is the layer that converts
     exceptions into structured failure payloads.  ``arc_plane`` optionally
     carries the scheduler-shipped packed arc buffer for engine-model jobs.
     """
-    params = spec.make_params()
-    out: dict = {
-        "graph_n": graph.n,
-        "graph_m": graph.m,
-        "result_meta": None,
-        "arrays": {},
-        "path": "",
-    }
-    if spec.problem == "mis":
-        res = maximal_independent_set(
-            graph, params=params, force=spec.force, paper_rule=spec.paper_rule
-        )
-        out["verified"] = bool(verify_mis_nodes(graph, res.independent_set))
-        out["solution_size"] = int(res.independent_set.size)
-        out["path"] = spec.force or (
-            "lowdeg"
-            if uses_lowdeg_path(graph, params, paper_rule=spec.paper_rule)
-            else "general"
-        )
-        out["result_meta"], out["arrays"] = result_to_payload(res)
-        stats = res
-    elif spec.problem == "matching":
-        res = maximal_matching(
-            graph, params=params, force=spec.force, paper_rule=spec.paper_rule
-        )
-        out["verified"] = bool(verify_matching_pairs(graph, res.pairs))
-        out["solution_size"] = int(res.pairs.shape[0])
-        out["path"] = spec.force or (
-            "lowdeg"
-            if uses_lowdeg_path(
-                graph, params, paper_rule=spec.paper_rule, for_matching=True
-            )
-            else "general"
-        )
-        out["result_meta"], out["arrays"] = result_to_payload(res)
-        stats = res
-    elif spec.problem == "vc":
-        vc = deterministic_vertex_cover(graph, params=params)
-        out["verified"] = bool(is_vertex_cover(graph, vc.cover))
-        out["solution_size"] = int(vc.size)
-        out["arrays"] = {"solution": np.asarray(vc.cover, dtype=np.int64)}
-        stats = vc.matching
-    elif spec.problem == "coloring":
-        col = deterministic_coloring(graph, params=params)
-        proper = True
-        if graph.m:
-            proper = bool(
-                np.all(col.colors[graph.edges_u] != col.colors[graph.edges_v])
-            )
-        out["verified"] = proper and bool(np.all(col.colors >= 0))
-        out["solution_size"] = int(len(set(col.colors.tolist())))
-        out["arrays"] = {"solution": np.asarray(col.colors, dtype=np.int64)}
-        stats = col.mis
-    elif spec.problem == "ruling2":
-        rs = deterministic_ruling_set(graph, params=params)
-        out["verified"] = bool(is_ruling_set(graph, rs.ruling_set))
-        out["solution_size"] = rs.size
-        out["arrays"] = {"solution": np.asarray(rs.ruling_set, dtype=np.int64)}
-        stats = rs.mis
-    elif spec.problem == "cc_mis":
-        from ..cclique.mis_cc import cc_mis
-
-        cc = cc_mis(graph, max_scan_trials=params.max_scan_trials)
-        out["verified"] = bool(verify_mis_nodes(graph, cc.solution))
-        out["solution_size"] = int(cc.solution.size)
-        out["arrays"] = {"solution": np.asarray(cc.solution, dtype=np.int64)}
-        out["path"] = "congested-clique"
-        return _fill_model_stats(out, cc.phases, cc.rounds, cc.snapshot)
-    elif spec.problem == "congest_mis":
-        from ..congest.mis_congest import congest_mis
-
-        cg = congest_mis(graph, max_scan_trials=params.max_scan_trials)
-        out["verified"] = bool(verify_mis_nodes(graph, cg.independent_set))
-        out["solution_size"] = int(cg.independent_set.size)
-        out["arrays"] = {"solution": np.asarray(cg.independent_set, dtype=np.int64)}
-        out["path"] = "congest"
-        return _fill_model_stats(out, cg.phases, cg.rounds, cg.snapshot)
-    elif spec.problem == "engine_mis":
-        from ..mpc.context import MPCContext
-        from ..mpc.distributed_luby import distributed_luby_mis
-
-        # Machine count follows the model constants (enough machines to
-        # hold the input at S = Theta(n^eps)); the engine's space is then
-        # sized for its demonstrated request/response protocol, which keeps
-        # per-machine home state (inI / killed / answer planes, ~9 words
-        # per resident node), the arc block, and one query per distinct
-        # endpoint per holder in flight: ~(12 m + 12 n) / M words plus the
-        # broadcast fan-out slack.
-        ctx = MPCContext(
-            n=graph.n, m=graph.m, eps=params.eps, space_factor=params.space_factor
-        )
-        machines = ctx.num_machines
-        space = max(
-            ctx.S,
-            -(-(12 * graph.m + 12 * max(graph.n, 1)) // machines)
-            + 4 * machines
-            + 64,
-        )
-        stats: dict = {}
-        mis, rounds, phases = distributed_luby_mis(
-            graph, machines, space, arc_plane=arc_plane, stats_out=stats
-        )
-        out["verified"] = bool(verify_mis_nodes(graph, mis))
-        out["solution_size"] = int(mis.size)
-        out["arrays"] = {"solution": np.asarray(mis, dtype=np.int64)}
-        out["path"] = "mpc-engine"
-        out["space_limit"] = int(space)
-        return _fill_model_stats(out, phases, rounds, stats.get("snapshot"))
-    else:  # unreachable: JobSpec validates problem
-        raise ValueError(f"unknown problem {spec.problem!r}")
-    out["iterations"] = int(stats.iterations)
-    out["rounds"] = int(stats.rounds)
-    out["max_machine_words"] = int(stats.max_machine_words)
-    out["space_limit"] = int(stats.space_limit)
-    return out
-
-
-def _fill_model_stats(out: dict, phases: int, rounds: int, snapshot) -> dict:
-    out["iterations"] = int(phases)
-    out["rounds"] = int(rounds)
-    out["max_machine_words"] = int(snapshot.max_words_seen if snapshot else 0)
-    ceiling = snapshot.space_ceiling if snapshot else None
-    if ceiling is not None:
-        out["space_limit"] = int(ceiling)
-    if snapshot is not None:
-        # Tagged so CacheEntry.load_result knows this is a ModelSnapshot,
-        # not a records payload.
-        out["result_meta"] = {
-            "kind": "model_snapshot",
-            "model_snapshot": snapshot.to_dict(),
-        }
+    problem, model = runtime_entry(spec.problem)
+    request = SolveRequest(
+        problem=problem,
+        model=model,
+        graph=graph,
+        eps=spec.eps,
+        params=spec.make_params(),
+        force=spec.force,
+        paper_rule=spec.paper_rule,
+        arc_plane=arc_plane,
+        tag=spec.tag,
+    )
+    result = solve(request)
+    out: dict = {"graph_n": graph.n, "graph_m": graph.m}
+    out.update(payload_from_solve_result(result))
     return out
 
 

@@ -1,0 +1,579 @@
+"""The ``repro.api`` facade: registry completeness, envelope round trips,
+execution-config threading, and shim-vs-facade parity.
+
+The parity tests are the contract that makes the facade safe to adopt: for
+every registry entry, ``solve()`` must return the *bit-identical* solution,
+round count and word count that the historical entry point produces for the
+same input.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    MODELS,
+    PROBLEMS,
+    REGISTRY,
+    ExecutionConfig,
+    SolveRequest,
+    SolveResult,
+    solve,
+)
+from repro.cclique.mis_cc import cc_maximal_matching, cc_mis
+from repro.congest.mis_congest import congest_maximal_matching, congest_mis
+from repro.core.api import maximal_independent_set, maximal_matching
+from repro.core.params import Params
+from repro.graphs import gnp_random_graph
+from repro.models.ledger import ModelSnapshot
+from repro.runtime import JobResult, runtime_entry, runtime_problem_name
+
+
+def small_graph(seed: int = 3, n: int = 60, p: float = 0.1):
+    return gnp_random_graph(n, p, seed=seed)
+
+
+# ---------------------------------------------------------------------- #
+# Registry surface
+# ---------------------------------------------------------------------- #
+
+
+def test_registry_has_the_expected_matrix():
+    keys = {(e.problem, e.model) for e in REGISTRY.entries()}
+    assert ("mis", "simulated") in keys
+    assert ("mis", "mpc-engine") in keys
+    assert ("mis", "cclique") in keys
+    assert ("mis", "congest") in keys
+    assert ("matching", "cclique") in keys
+    assert ("matching", "congest") in keys
+    for problem in ("vc", "coloring", "ruling2"):
+        assert (problem, "simulated") in keys
+    assert REGISTRY.models("mis") == sorted(MODELS)
+    assert set(REGISTRY.problems()) == set(PROBLEMS)
+
+
+def test_registry_get_unknown_raises_with_catalog():
+    with pytest.raises(KeyError, match="known entries"):
+        REGISTRY.get("mis", "quantum")
+
+
+def test_request_validation():
+    with pytest.raises(ValueError, match="unknown problem"):
+        SolveRequest(problem="tsp")
+    with pytest.raises(ValueError, match="unknown model"):
+        SolveRequest(problem="mis", model="pram")
+    with pytest.raises(ValueError, match="needs a graph"):
+        solve(SolveRequest(problem="mis"))
+
+
+def test_registry_completeness_every_entry_solves_and_round_trips():
+    """Acceptance: every (problem, model) entry solves a small graph and the
+    SolveResult survives the runtime JSON payload round trip."""
+    g = small_graph()
+    for entry in REGISTRY.entries():
+        res = solve(
+            SolveRequest(problem=entry.problem, model=entry.model, graph=g)
+        )
+        assert isinstance(res, SolveResult)
+        assert res.verified, (entry.problem, entry.model)
+        assert res.rounds > 0
+        if res.solution_kind == "pairs":
+            assert res.solution.ndim == 2 and res.solution.shape[1] == 2
+            assert res.solution_size == res.solution.shape[0]
+        elif res.solution_kind == "nodes":
+            assert res.solution_size == res.solution.size
+        else:  # colors: one entry per node, size counts distinct colors
+            assert res.solution.size == g.n
+            assert res.solution_size == len(set(res.solution.tolist()))
+        if entry.capabilities.snapshot:
+            assert isinstance(res.snapshot, ModelSnapshot)
+            assert res.snapshot.rounds == res.rounds
+        # Runtime JSON payload round trip (the cache's persistence format).
+        meta, arrays = res.to_payload()
+        meta = json.loads(json.dumps(meta))  # must be JSON-native
+        again = SolveResult.from_payload(meta, arrays)
+        assert np.array_equal(again.solution, res.solution)
+        for field_name in (
+            "problem", "model", "solution_kind", "solution_size", "verified",
+            "rounds", "iterations", "words_moved", "max_machine_words",
+            "space_limit", "path",
+        ):
+            assert getattr(again, field_name) == getattr(res, field_name), field_name
+        if res.snapshot is not None:
+            assert again.snapshot == res.snapshot
+
+
+def test_runtime_names_cover_the_registry_bijectively():
+    seen = set()
+    for entry in REGISTRY.entries():
+        name = runtime_problem_name(entry.problem, entry.model)
+        assert runtime_entry(name) == (entry.problem, entry.model)
+        seen.add(name)
+    assert len(seen) == len(REGISTRY)
+
+
+def test_runtime_entry_prefix_collisions_resolve_via_registry():
+    """A simulated problem named like a model-prefixed job resolves to
+    itself; a name valid under both readings is rejected, not guessed."""
+    from repro.api import SolverEntry
+
+    noop = SolverEntry(problem="cc_greedy", model="simulated", fn=lambda *a: None)
+    REGISTRY.register(noop)
+    try:
+        assert runtime_entry("cc_greedy") == ("cc_greedy", "simulated")
+        assert runtime_entry("cc_mis") == ("mis", "cclique")
+        REGISTRY.register(
+            SolverEntry(problem="greedy", model="cclique", fn=lambda *a: None)
+        )
+        with pytest.raises(ValueError, match="ambiguous runtime problem"):
+            runtime_entry("cc_greedy")
+    finally:
+        REGISTRY._entries.pop(("cc_greedy", "simulated"), None)
+        REGISTRY._entries.pop(("greedy", "cclique"), None)
+
+
+# ---------------------------------------------------------------------- #
+# Shim-vs-facade parity (hypothesis)
+# ---------------------------------------------------------------------- #
+
+
+graph_params = st.tuples(
+    st.integers(min_value=12, max_value=70),  # n
+    st.integers(min_value=0, max_value=6),  # seed
+)
+
+
+@settings(max_examples=8, deadline=None)
+@given(graph_params)
+def test_parity_mis_cclique(gp):
+    n, seed = gp
+    g = gnp_random_graph(n, 0.12, seed=seed)
+    legacy = cc_mis(g)
+    res = solve(SolveRequest(problem="mis", model="cclique", graph=g))
+    assert np.array_equal(res.solution, legacy.solution)
+    assert res.rounds == legacy.rounds
+    assert res.iterations == legacy.phases
+    assert res.words_moved == legacy.snapshot.words_moved
+    assert res.snapshot == legacy.snapshot
+
+
+@settings(max_examples=8, deadline=None)
+@given(graph_params)
+def test_parity_matching_cclique(gp):
+    n, seed = gp
+    g = gnp_random_graph(n, 0.12, seed=seed)
+    legacy = cc_maximal_matching(g)
+    res = solve(SolveRequest(problem="matching", model="cclique", graph=g))
+    assert np.array_equal(res.solution, legacy.solution)
+    assert res.rounds == legacy.rounds
+    assert res.words_moved == legacy.snapshot.words_moved
+
+
+@settings(max_examples=6, deadline=None)
+@given(graph_params)
+def test_parity_mis_congest(gp):
+    n, seed = gp
+    g = gnp_random_graph(n, 0.1, seed=seed)
+    legacy = congest_mis(g)
+    res = solve(SolveRequest(problem="mis", model="congest", graph=g))
+    assert np.array_equal(res.solution, legacy.independent_set)
+    assert res.rounds == legacy.rounds
+    assert res.words_moved == legacy.snapshot.words_moved
+    assert res.certificate["bfs_depth"] == legacy.bfs_depth
+
+
+@settings(max_examples=6, deadline=None)
+@given(graph_params)
+def test_parity_matching_congest(gp):
+    n, seed = gp
+    g = gnp_random_graph(n, 0.1, seed=seed)
+    legacy = congest_maximal_matching(g)
+    res = solve(SolveRequest(problem="matching", model="congest", graph=g))
+    if g.m:
+        eids = legacy.independent_set
+        pairs = np.stack([g.edges_u[eids], g.edges_v[eids]], axis=1)
+    else:
+        pairs = np.empty((0, 2), dtype=np.int64)
+    assert np.array_equal(res.solution, pairs)
+    assert res.rounds == legacy.rounds
+
+
+@settings(max_examples=6, deadline=None)
+@given(graph_params)
+def test_parity_mis_simulated(gp):
+    n, seed = gp
+    g = gnp_random_graph(n, 0.1, seed=seed)
+    legacy = maximal_independent_set(g)
+    res = solve(SolveRequest(problem="mis", model="simulated", graph=g))
+    assert np.array_equal(res.solution, legacy.independent_set)
+    assert res.rounds == legacy.rounds
+    assert res.iterations == legacy.iterations
+    assert res.words_moved == legacy.words_moved
+
+
+@settings(max_examples=4, deadline=None)
+@given(graph_params)
+def test_parity_matching_simulated_forced_paths(gp):
+    n, seed = gp
+    g = gnp_random_graph(n, 0.1, seed=seed)
+    for force in (None, "general", "lowdeg"):
+        legacy = maximal_matching(g, force=force)
+        res = solve(
+            SolveRequest(problem="matching", model="simulated", graph=g, force=force)
+        )
+        assert np.array_equal(res.solution, legacy.pairs)
+        assert res.rounds == legacy.rounds
+
+
+def test_parity_mis_engine():
+    from repro.api.solvers import engine_space_plan
+    from repro.mpc.distributed_luby import distributed_luby_mis
+
+    g = small_graph(seed=5, n=80, p=0.06)
+    machines, space = engine_space_plan(g, Params())
+    mis, rounds, phases = distributed_luby_mis(g, machines, space)
+    res = solve(SolveRequest(problem="mis", model="mpc-engine", graph=g))
+    assert np.array_equal(res.solution, mis)
+    assert res.rounds == rounds
+    assert res.iterations == phases
+    assert res.space_limit == space
+    # Satellite: the engine's ModelSnapshot is exposed through the envelope
+    # while the public (mis, rounds, phases) tuple stays unchanged.
+    assert isinstance(res.snapshot, ModelSnapshot)
+    assert res.snapshot.model == "mpc-engine"
+    assert res.snapshot.rounds == rounds
+    assert res.words_moved == res.snapshot.words_moved > 0
+
+
+# ---------------------------------------------------------------------- #
+# ExecutionConfig
+# ---------------------------------------------------------------------- #
+
+
+def test_execution_config_validation_and_round_trip():
+    cfg = ExecutionConfig(kernel_backend="csr", seed_chunk=32)
+    assert ExecutionConfig.from_dict(cfg.to_dict()) == cfg
+    with pytest.raises(ValueError, match="kernel_backend"):
+        ExecutionConfig(kernel_backend="gpu")
+    with pytest.raises(ValueError, match="seed_chunk"):
+        ExecutionConfig(seed_chunk=0)
+    with pytest.raises(ValueError, match="seed_scan_workers"):
+        ExecutionConfig(seed_scan_workers=-1)
+
+
+def test_execution_config_env_fallback(monkeypatch):
+    monkeypatch.setenv("REPRO_SEED_BACKEND", "scalar")
+    monkeypatch.setenv("REPRO_SEED_CHUNK", "64")
+    monkeypatch.setenv("REPRO_CONGEST_PIPELINE_SEED_FIX", "1")
+    env = ExecutionConfig.from_env()
+    assert env.seed_backend == "scalar"
+    assert env.seed_chunk == 64
+    assert env.congest_pipeline_seed_fix is True
+    # explicit wins over env in resolved()
+    cfg = ExecutionConfig(seed_backend="batched").resolved()
+    assert cfg.seed_backend == "batched"
+    assert cfg.seed_chunk == 64
+
+
+def test_execution_config_threads_into_params():
+    cfg = ExecutionConfig(
+        kernel_backend="legacy",
+        seed_backend="scalar",
+        engine_backend="legacy",
+        seed_chunk=16,
+        seed_scan_workers=2,
+        congest_pipeline_seed_fix=True,
+    )
+    p = cfg.apply(Params())
+    assert p.kernel_backend == "legacy"
+    assert p.seed_backend == "scalar"
+    assert p.engine_backend == "legacy"
+    assert p.seed_chunk == 16
+    assert p.seed_scan_workers == 2
+    assert p.congest_pipeline_seed_fix is True
+    assert ExecutionConfig.from_params(p) == cfg
+    # an empty config is the identity
+    assert ExecutionConfig().apply(p) is p
+
+
+def test_solve_with_backend_overrides_is_bit_identical():
+    g = small_graph(seed=7)
+    base = solve(SolveRequest(problem="mis", model="simulated", graph=g))
+    for cfg in (
+        ExecutionConfig(kernel_backend="legacy"),
+        ExecutionConfig(seed_backend="scalar"),
+    ):
+        res = solve(
+            SolveRequest(problem="mis", model="simulated", graph=g, config=cfg)
+        )
+        assert np.array_equal(res.solution, base.solution)
+        assert res.rounds == base.rounds
+
+
+def test_seed_backend_config_reaches_cclique_and_congest(monkeypatch):
+    """The seed knobs must reach every model's scan, not just simulated.
+
+    Proof by observation: pin the scalar backend through ExecutionConfig
+    and count select_seed_batch calls seeing backend="scalar"."""
+    import repro.derand.strategies as strategies
+
+    seen: list[str | None] = []
+    real = strategies.select_seed_batch
+
+    def spy(*args, **kwargs):
+        seen.append(kwargs.get("backend"))
+        return real(*args, **kwargs)
+
+    g = small_graph(seed=9, n=40, p=0.15)
+    cfg = ExecutionConfig(seed_backend="scalar")
+    for module in ("repro.cclique.mis_cc", "repro.congest.mis_congest"):
+        import importlib
+
+        monkeypatch.setattr(
+            importlib.import_module(module), "select_seed_batch", spy
+        )
+    for model in ("cclique", "congest"):
+        seen.clear()
+        solve(SolveRequest(problem="mis", model=model, graph=g, config=cfg))
+        assert seen and all(b == "scalar" for b in seen), model
+
+
+def test_kernel_backend_scope_restores_on_exit():
+    from repro.graphs.kernels import kernel_backend_scope, resolve_backend
+
+    assert resolve_backend() == "csr"
+    with kernel_backend_scope("legacy"):
+        assert resolve_backend() == "legacy"
+        with kernel_backend_scope(None):  # no-op scope nests
+            assert resolve_backend() == "legacy"
+    assert resolve_backend() == "csr"
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        with kernel_backend_scope("gpu"):
+            pass  # pragma: no cover
+
+
+# ---------------------------------------------------------------------- #
+# Words-moved wiring (ROADMAP satellite)
+# ---------------------------------------------------------------------- #
+
+
+def test_mpc_context_words_moved_positive_for_both_paths():
+    g = small_graph(seed=2, n=70, p=0.1)
+    for force in ("general", "lowdeg"):
+        res = solve(
+            SolveRequest(problem="mis", model="simulated", graph=g, force=force)
+        )
+        assert res.words_moved > 0, force
+        assert res.snapshot.words_moved == res.words_moved
+        assert res.raw.words_moved == res.words_moved
+
+
+def test_cross_model_report_shows_mpc_words(capsys):
+    from repro.analysis import cross_model_report
+    from repro.models import cross_model_run
+
+    g = small_graph(seed=4, n=80, p=0.08)
+    run = cross_model_run(g, "mis")
+    mpc = run.snapshot_for("mpc")
+    assert mpc.words_moved > 0
+    text = cross_model_report(run)
+    row = next(line for line in text.splitlines() if line.strip().startswith("mpc"))
+    assert str(mpc.words_moved) in row
+
+
+def test_cross_model_engine_row_opt_in():
+    from repro.models import cross_model_run
+
+    g = small_graph(seed=4, n=60, p=0.08)
+    run = cross_model_run(g, "mis", include_engine=True)
+    assert {s.model for s in run.snapshots} == {
+        "mpc", "congested-clique", "congest", "mpc-engine"
+    }
+    assert run.all_verified
+    assert run.snapshot_for("mpc-engine").words_moved > 0
+
+
+# ---------------------------------------------------------------------- #
+# CONGEST pipelined seed fix (ablation satellite)
+# ---------------------------------------------------------------------- #
+
+
+def test_congest_pipeline_seed_fix_same_mis_fewer_rounds():
+    g = small_graph(seed=6, n=70, p=0.08)
+    base = solve(SolveRequest(problem="mis", model="congest", graph=g))
+    piped = solve(
+        SolveRequest(
+            problem="mis",
+            model="congest",
+            graph=g,
+            config=ExecutionConfig(congest_pipeline_seed_fix=True),
+        )
+    )
+    # Identical deterministic output; only the round bill changes.
+    assert np.array_equal(piped.solution, base.solution)
+    assert piped.rounds < base.rounds
+    assert piped.words_moved == base.words_moved  # same votes move
+    assert piped.snapshot.detail["pipeline_seed_fix"] is True
+    assert base.snapshot.detail["pipeline_seed_fix"] is False
+
+
+def test_congest_pipeline_charge_formula():
+    from repro.congest.model import CongestContext
+
+    g = small_graph(seed=8, n=40, p=0.15)
+    seq = CongestContext(g)
+    pipe = CongestContext(g, pipeline_seed_fix=True)
+    bits = 10
+    seq.charge_seed_fix(bits)
+    pipe.charge_seed_fix(bits)
+    depth = max(1, seq.depth)
+    assert seq.rounds == 2 * depth * bits
+    assert pipe.rounds == 2 * depth + 2 * (bits - 1)
+    assert seq.words_moved == pipe.words_moved == 2 * g.n * bits
+
+
+# ---------------------------------------------------------------------- #
+# Facade through the runtime (worker dispatch is registry-driven)
+# ---------------------------------------------------------------------- #
+
+
+def test_new_registry_problems_are_batch_runnable():
+    """cc_matching / congest_matching exist purely because the registry
+    enumerates them — no worker or spec change was needed."""
+    from repro.runtime import GraphSource, JobSpec, Scheduler
+
+    src = GraphSource.generator("gnp_random_graph", n=50, p=0.1, seed=3)
+    specs = [JobSpec("cc_matching", src), JobSpec("congest_matching", src)]
+    batch = Scheduler(workers=1).run(specs)
+    assert batch.all_ok
+    assert all(r.verified for r in batch.results)
+    assert batch.results[0].path == "congested-clique"
+    assert batch.results[1].path == "congest"
+
+
+def test_registry_matrix_suite_covers_every_entry():
+    from repro.runtime import build_suite
+
+    specs = build_suite("registry-matrix")
+    assert len(specs) == len(REGISTRY)
+    assert {runtime_entry(s.problem) for s in specs} == {
+        (e.problem, e.model) for e in REGISTRY.entries()
+    }
+
+
+def test_register_new_problem_is_instantly_batch_runnable():
+    """The registry axes are open: a brand-new problem key registered once
+    is solvable through the facade and runnable through the runtime with no
+    table edits anywhere."""
+    from repro.api import SolverEntry
+    from repro.api.registry import SolverRegistry
+    from repro.runtime import GraphSource, JobSpec, Scheduler
+
+    # A scratch registry accepts arbitrary axes.
+    scratch = SolverRegistry()
+    scratch.register(SolverEntry(problem="spanner", model="simulated", fn=lambda *a: None))
+    assert ("spanner", "simulated") in scratch
+    with pytest.raises(ValueError, match="non-empty"):
+        scratch.register(SolverEntry(problem="", model="simulated", fn=lambda *a: None))
+
+    # End to end on the live registry: register, solve, batch, deregister.
+    def _solve_iso(graph, request, params):
+        iso = np.nonzero(graph.degrees() == 0)[0].astype(np.int64)
+        return SolveResult(
+            problem="isolated",
+            model="simulated",
+            solution=iso,
+            solution_kind="nodes",
+            solution_size=int(iso.size),
+            verified=True,
+            certificate={"verifier": "degrees==0", "ok": True},
+            rounds=1,
+            iterations=1,
+            words_moved=graph.n,
+            max_machine_words=0,
+            space_limit=0,
+        )
+
+    from repro.api import REGISTRY as live
+
+    entry = SolverEntry(problem="isolated", model="simulated", fn=_solve_iso)
+    live.register(entry)
+    try:
+        g = small_graph(seed=11, n=30, p=0.05)
+        res = solve(SolveRequest(problem="isolated", graph=g))
+        assert res.rounds == 1
+        # Late-registered problems pass JobSpec validation and run.
+        spec = JobSpec(
+            "isolated", GraphSource.generator("gnp_random_graph", n=30, p=0.05, seed=11)
+        )
+        batch = Scheduler(workers=1).run([spec])
+        assert batch.all_ok
+    finally:
+        live._entries.pop(("isolated", "simulated"), None)
+
+
+def test_cmd_solve_unknown_problem_is_friendly(capsys):
+    from repro.__main__ import main
+
+    rc = main(["solve", "--problem", "bogus", "--n", "20", "--p", "0.1"])
+    assert rc == 2
+    assert "unknown problem" in capsys.readouterr().err
+
+
+def test_cross_model_run_respects_params_scan_trials():
+    """Regression: cross_model_run used to clobber params.max_scan_trials
+    back to 512 unconditionally."""
+    from unittest.mock import patch
+
+    from repro.models import cross_model_run
+
+    g = small_graph(seed=12, n=40, p=0.1)
+    captured = []
+    import repro.api as api_mod
+
+    real = api_mod.solve
+
+    def spy(request, **kw):
+        captured.append(request.params.max_scan_trials)
+        return real(request, **kw)
+
+    with patch.object(api_mod, "solve", side_effect=spy):
+        cross_model_run(g, "mis", params=Params(max_scan_trials=64))
+    assert captured and all(v == 64 for v in captured)
+
+
+def test_worker_payload_round_trips_jobresult():
+    from repro.graphs.io import graph_to_npz_bytes
+    from repro.runtime import JobSpec, GraphSource
+    from repro.runtime.worker import run_job
+
+    spec = JobSpec(
+        "cc_mis", GraphSource.generator("gnp_random_graph", n=40, p=0.1, seed=2)
+    )
+    g = spec.source.resolve()
+    out = run_job(
+        {"spec": spec.to_dict(), "graph_npz": graph_to_npz_bytes(g), "timeout": None}
+    )
+    assert out["status"] == "ok"
+    assert out["result_meta"]["kind"] == "solve_result"
+    res = SolveResult.from_payload(out["result_meta"], out["arrays"])
+    legacy = cc_mis(g)
+    assert np.array_equal(res.solution, legacy.solution)
+    assert res.rounds == legacy.rounds
+    # and the flattened fields feed a JSON-round-trippable JobResult
+    doc = {
+        k: v
+        for k, v in out.items()
+        if k not in ("result_meta", "arrays")
+    }
+    jr = JobResult(spec=spec, **{k: doc[k] for k in (
+        "status", "wall_time", "worker_pid", "fingerprint", "graph_n",
+        "graph_m", "solution_size", "iterations", "rounds",
+        "max_machine_words", "space_limit", "verified", "path",
+    )})
+    assert JobResult.from_json(jr.to_json()) == jr

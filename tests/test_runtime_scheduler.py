@@ -158,9 +158,11 @@ def test_derived_problems_run_through_scheduler():
     assert all(r.verified for r in batch.results)
 
 
-def test_cached_model_jobs_load_result_as_snapshot(tmp_path):
-    """Regression: cached cc_mis/congest_mis/engine_mis entries used to
-    store a result_meta without a 'kind' tag, so load_result() raised."""
+def test_cached_model_jobs_load_result_with_snapshot(tmp_path):
+    """Cached model jobs rebuild the full SolveResult envelope, snapshot
+    included.  (Regression lineage: these entries once stored a result_meta
+    without a 'kind' tag, so load_result() raised.)"""
+    from repro.api import SolveResult
     from repro.graphs.io import graph_fingerprint
     from repro.models import ModelSnapshot
     from repro.runtime import ResultCache
@@ -173,9 +175,39 @@ def test_cached_model_jobs_load_result_as_snapshot(tmp_path):
     fp = graph_fingerprint(src.resolve())
     for spec in specs:
         hit = cache.get(spec.cache_key(fp))
-        snap = hit.load_result()
-        assert isinstance(snap, ModelSnapshot)
-        assert snap.rounds > 0
+        res = hit.load_result()
+        assert isinstance(res, SolveResult)
+        assert isinstance(res.snapshot, ModelSnapshot)
+        assert res.snapshot.rounds > 0
+        assert res.rounds == res.snapshot.rounds
+
+
+def test_old_cache_formats_still_load(tmp_path):
+    """Pre-facade cache entries (bare records / tagged snapshots) load."""
+    import numpy as np
+
+    from repro.core import result_to_payload
+    from repro.core.api import maximal_independent_set
+    from repro.graphs import gnp_random_graph
+    from repro.models import ModelSnapshot
+    from repro.runtime import ResultCache
+
+    cache = ResultCache(tmp_path / "cache")
+    g = gnp_random_graph(40, 0.1, seed=1)
+    res = maximal_independent_set(g)
+    meta, arrays = result_to_payload(res)
+    cache.put("a" * 64, job={"status": "ok"}, arrays=arrays, result_meta=meta)
+    loaded = cache.get("a" * 64).load_result()
+    assert np.array_equal(loaded.independent_set, res.independent_set)
+
+    snap = ModelSnapshot(model="congest", rounds=7, words_moved=3)
+    cache.put(
+        "b" * 64,
+        job={"status": "ok"},
+        arrays={"solution": np.arange(3)},
+        result_meta={"kind": "model_snapshot", "model_snapshot": snap.to_dict()},
+    )
+    assert cache.get("b" * 64).load_result() == snap
 
 
 def test_cross_model_problems_run_through_scheduler():
