@@ -1,0 +1,253 @@
+"""Tracing overhead: the disabled path must cost < 2% of a solve.
+
+The observability layer guards every instrumentation site on the
+module-global ``repro.obs.trace._TRACING`` boolean, so with ``REPRO_TRACE``
+unset a solve pays one attribute-load-plus-branch per site crossing and
+nothing else.  This bench makes that contract measurable:
+
+1. **Disabled-path estimate** (the gated number): micro-time the guard
+   check itself, count how many instrumentation sites a solve actually
+   crosses (spans + ledger charges recorded by a traced run of the same
+   solve), and bound the disabled overhead as ``crossings x guard_cost /
+   untraced_wall``.  Direct A/B timing cannot see a few hundred
+   nanoseconds inside a multi-millisecond solve; the product bound can,
+   and it is deterministic enough to gate in CI.
+2. **Enabled-path ratio** (informational): traced wall / untraced wall,
+   reported so span-recording cost stays visible but never gated — the
+   enabled path is opt-in.
+3. **Structural counts** (regression-gated): spans and charge events per
+   case are deterministic for a fixed seed.  The checked-in baseline
+   pins them, so a change that silently multiplies the instrumentation
+   (a span inside an inner loop) fails ``--check`` even though the
+   disabled guard keeps the wall-time harmless.
+
+Modes: ``--smoke`` (CI-sized) / default full; ``--check PATH`` gates
+against a baseline; ``--write-baseline [PATH]`` refreshes it.
+Artifacts: ``benchmarks/results/BENCH_obs.json``; baseline at
+``benchmarks/baselines/BENCH_obs_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import best_timing, emit_json  # noqa: E402
+
+from repro.api import SolveRequest, solve  # noqa: E402
+from repro.graphs import gnp_random_graph  # noqa: E402
+from repro.obs import trace as obs_trace  # noqa: E402
+from repro.obs import trace_capture  # noqa: E402
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "BENCH_obs_baseline.json"
+
+#: The ISSUE-level contract: disabled tracing costs < 2% of a solve.
+OVERHEAD_LIMIT_PCT = 2.0
+
+#: --check fails when a case's span/charge count drifts past this factor
+#: from the baseline (instrumentation silently multiplied or vanished).
+STRUCTURAL_FACTOR = 2.0
+
+
+def _guard_cost_seconds(iters: int = 2_000_000) -> float:
+    """Per-crossing cost of the ``_TRACING`` guard, measured disabled."""
+    assert not obs_trace.is_tracing(), "guard must be timed on the off path"
+
+    def loop(k: int) -> None:
+        for _ in range(k):
+            if obs_trace._TRACING:  # the exact expression the hot sites use
+                raise AssertionError("tracing flipped on mid-measurement")
+
+    loop(iters // 10)  # warm
+    t0 = time.perf_counter()
+    loop(iters)
+    elapsed = time.perf_counter() - t0
+    # Subtract the bare-loop floor so we charge the guard, not the range().
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        pass
+    floor = time.perf_counter() - t0
+    return max(elapsed - floor, 0.0) / iters
+
+
+def _case(name: str, problem: str, model: str, n: int, p: float, repeats: int):
+    g = gnp_random_graph(n, p, seed=11)
+    req = lambda: SolveRequest(problem=problem, model=model, graph=g)  # noqa: E731
+
+    untraced_s, res = best_timing(lambda: solve(req()), repeats)
+
+    def traced():
+        with trace_capture():
+            return solve(req())
+
+    traced_s, traced_res = best_timing(traced, repeats)
+    spans = traced_res.trace or []
+    charges = sum(
+        1 for s in spans for ev in s["events"] if ev.get("name") == "charge"
+    )
+    # Every recorded span or charge is one crossing of a guarded site; the
+    # sites that found nothing to record still cross the guard, so double
+    # the count for a conservative bound.
+    crossings = 2 * (len(spans) + charges)
+    return name, {
+        "problem": problem,
+        "model": model,
+        "n": g.n,
+        "m": g.m,
+        "untraced_s": untraced_s,
+        "traced_s": traced_s,
+        "traced_ratio": traced_s / untraced_s if untraced_s > 0 else 0.0,
+        "spans": len(spans),
+        "charges": charges,
+        "crossings": crossings,
+        "rounds": traced_res.rounds,
+        "identical_rounds": bool(res.rounds == traced_res.rounds),
+    }
+
+
+def run(mode: str) -> dict:
+    if mode == "smoke":
+        repeats, sizes = 3, {"simulated": 400, "mpc-engine": 300, "cclique": 300}
+    else:
+        repeats, sizes = 5, {"simulated": 3000, "mpc-engine": 1500, "cclique": 1500}
+    guard_s = _guard_cost_seconds()
+    cases = dict(
+        _case(f"mis_{model.replace('-', '_')}", "mis", model, n, 8.0 / n, repeats)
+        for model, n in sizes.items()
+    )
+    for case in cases.values():
+        case["disabled_overhead_pct"] = (
+            100.0 * case["crossings"] * guard_s / case["untraced_s"]
+            if case["untraced_s"] > 0
+            else 0.0
+        )
+    worst = max(c["disabled_overhead_pct"] for c in cases.values())
+    return {
+        "mode": mode,
+        "guard_ns": guard_s * 1e9,
+        "overhead_limit_pct": OVERHEAD_LIMIT_PCT,
+        "worst_disabled_overhead_pct": worst,
+        "disabled_overhead_ok": bool(worst < OVERHEAD_LIMIT_PCT),
+        "cases": cases,
+    }
+
+
+def check_regression(payload: dict, baseline_path: Path) -> list[str]:
+    """Gate failures (empty = green): overhead bound + structural drift."""
+    problems = []
+    if not payload["disabled_overhead_ok"]:
+        problems.append(
+            f"disabled-path overhead {payload['worst_disabled_overhead_pct']:.3f}% "
+            f"exceeds the {OVERHEAD_LIMIT_PCT}% contract"
+        )
+    for name, case in payload["cases"].items():
+        if not case["identical_rounds"]:
+            problems.append(f"{name}: traced and untraced solves DIVERGED")
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except OSError as exc:
+        problems.append(f"baseline {baseline_path} unreadable: {exc}")
+        return problems
+    except json.JSONDecodeError as exc:
+        problems.append(f"baseline {baseline_path} is not valid JSON: {exc}")
+        return problems
+    if baseline.get("mode") != payload["mode"]:
+        problems.append(
+            f"baseline was recorded in {baseline.get('mode')!r} mode but this "
+            f"run is {payload['mode']!r}; refresh with --write-baseline"
+        )
+        return problems
+    for name, base_case in baseline["cases"].items():
+        cur = payload["cases"].get(name)
+        if cur is None:
+            problems.append(f"{name}: present in baseline but not run")
+            continue
+        for key in ("spans", "charges"):
+            lo = base_case[key] / STRUCTURAL_FACTOR
+            hi = base_case[key] * STRUCTURAL_FACTOR
+            if not (lo <= cur[key] <= hi):
+                problems.append(
+                    f"{name}: {key} count {cur[key]} drifted outside "
+                    f"[{lo:.0f}, {hi:.0f}] (baseline {base_case[key]})"
+                )
+    return problems
+
+
+def write_baseline(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    slim = {
+        "mode": payload["mode"],
+        "cases": {
+            k: {"spans": v["spans"], "charges": v["charges"]}
+            for k, v in payload["cases"].items()
+        },
+    }
+    path.write_text(json.dumps(slim, indent=2, sort_keys=True) + "\n")
+    print(f"[baseline] wrote {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true", help="small CI-sized run")
+    ap.add_argument(
+        "--check", metavar="PATH", help="regression-gate against a baseline JSON"
+    )
+    ap.add_argument(
+        "--write-baseline",
+        nargs="?",
+        const=str(BASELINE_PATH),
+        metavar="PATH",
+        help="write this run's structural counts as the new baseline",
+    )
+    args = ap.parse_args(argv)
+
+    if obs_trace.is_tracing():
+        print(
+            "REPRO_TRACE is set; the disabled-path measurement requires it "
+            "unset",
+            file=sys.stderr,
+        )
+        return 2
+
+    mode = "smoke" if args.smoke else "full"
+    payload = run(mode)
+
+    width = max(len(k) for k in payload["cases"])
+    print(f"obs overhead benchmark [{mode}]  guard = {payload['guard_ns']:.1f}ns")
+    for name, case in payload["cases"].items():
+        print(
+            f"  {name:<{width}}  untraced={case['untraced_s'] * 1e3:8.2f}ms  "
+            f"spans={case['spans']:5d}  charges={case['charges']:5d}  "
+            f"disabled={case['disabled_overhead_pct']:.4f}%  "
+            f"traced={case['traced_ratio']:.2f}x"
+        )
+    verdict = "PASS" if payload["disabled_overhead_ok"] else "FAIL"
+    print(
+        f"acceptance: worst disabled-path overhead "
+        f"{payload['worst_disabled_overhead_pct']:.4f}% "
+        f"(< {OVERHEAD_LIMIT_PCT}% required): {verdict}"
+    )
+    emit_json("obs", payload)
+
+    if args.write_baseline:
+        write_baseline(Path(args.write_baseline), payload)
+
+    if args.check:
+        problems = check_regression(payload, Path(args.check))
+        if problems:
+            for p in problems:
+                print(f"REGRESSION: {p}", file=sys.stderr)
+            return 1
+        print("regression gate: green")
+        return 0
+    return 0 if payload["disabled_overhead_ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ Commands
 ``crossmodel`` bill one input under MPC / CONGESTED CLIQUE / CONGEST
 ``batch``      run a named workload suite through the parallel runtime
 ``cache``      inspect / clear the content-addressed result cache
+``trace``      record / summarize / diff / export traces, fit conformance
 
 Every solve-shaped command routes through :func:`repro.api.solve`; the
 problem-specific commands (``mis`` / ``matching`` / ``vc`` / ``coloring``)
@@ -27,6 +28,8 @@ Examples::
     python -m repro crossmodel --n 300 --p 0.03 --problem mis
     python -m repro batch --suite cross-model --workers 4
     python -m repro cache stats
+    python -m repro trace record --problem mis --model mpc-engine --out t.jsonl
+    python -m repro trace summarize t.jsonl
 """
 
 from __future__ import annotations
@@ -77,6 +80,17 @@ def _report(kind: str, g: Graph, res) -> None:
     raw = res.raw
     if raw is not None and getattr(raw, "fidelity_events", None):
         print(f"  fidelity events: {len(raw.fidelity_events)}")
+
+
+def _emit_json(dest: str, payload: dict) -> None:
+    """Write ``payload`` as JSON to a path, or to stdout when dest is ``-``."""
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if dest == "-":
+        sys.stdout.write(text)
+    else:
+        with open(dest, "w") as fh:
+            fh.write(text)
+        print(f"  json written to {dest}")
 
 
 def _write(path: str | None, lines) -> None:
@@ -200,12 +214,11 @@ def cmd_solve(args) -> int:
     if res.path:
         print(f"  path: {res.path}")
     print(f"  wall time: {res.wall_time:.3f}s")
+    if res.trace is not None:
+        print(f"  trace: {len(res.trace)} spans recorded")
     if args.json:
         meta, _ = res.to_payload()
-        with open(args.json, "w") as fh:
-            json.dump(meta, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"  json written to {args.json}")
+        _emit_json(args.json, meta)
     if args.out:
         if res.solution_kind == "pairs":
             _write(args.out, (f"{u} {v}" for u, v in res.solution.tolist()))
@@ -232,10 +245,7 @@ def cmd_crossmodel(args) -> int:
             fh.write(text)
         print(f"  report written to {args.out}")
     if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(run.to_dict(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"  json written to {args.json}")
+        _emit_json(args.json, run.to_dict())
     return 0 if run.all_verified else 1
 
 
@@ -365,7 +375,8 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--out", type=str, default=None,
                     help="write the solution to a file")
     sv.add_argument("--json", type=str, default=None,
-                    help="write the SolveResult envelope (sans arrays) as JSON")
+                    help="write the SolveResult envelope (sans arrays) as "
+                         "JSON; - for stdout")
     sv.set_defaults(fn=cmd_solve)
 
     for name, fn in (
@@ -408,7 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
     xm.add_argument("--out", type=str, default=None,
                     help="write the report to a file")
     xm.add_argument("--json", type=str, default=None,
-                    help="write the run record as JSON")
+                    help="write the run record as JSON; - for stdout")
     xm.set_defaults(fn=cmd_crossmodel)
 
     batch = sub.add_parser(
@@ -443,6 +454,10 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR,
                        help="result cache directory (REPRO_CACHE_DIR)")
     cache.set_defaults(fn=cmd_cache)
+
+    from .obs.cli import add_trace_parser
+
+    add_trace_parser(sub)
 
     return parser
 

@@ -34,6 +34,8 @@ from dataclasses import replace
 
 from ..graphs.graph import Graph
 from ..graphs.kernels import kernel_backend_scope
+from ..obs import METRICS
+from ..obs import trace as _trace
 from .config import ExecutionConfig
 from .envelope import MODELS, PROBLEMS, SolveRequest, SolveResult
 from .registry import (
@@ -74,7 +76,43 @@ def solve(request: SolveRequest, *, graph: Graph | None = None) -> SolveResult:
         raise ValueError("SolveRequest needs a graph (request.graph or graph=)")
     entry = REGISTRY.get(request.problem, request.model)
     params = request.make_params()
-    t0 = time.perf_counter()
-    with kernel_backend_scope(params.kernel_backend):
-        result = entry.fn(g, request, params)
-    return replace(result, wall_time=time.perf_counter() - t0)
+    if not _trace._TRACING:
+        # Parity contract: with tracing off this is byte-for-byte the
+        # pre-observability solve path.
+        t0 = time.perf_counter()
+        with kernel_backend_scope(params.kernel_backend):
+            result = entry.fn(g, request, params)
+        return replace(result, wall_time=time.perf_counter() - t0)
+    return _solve_traced(entry, g, request, params)
+
+
+def _solve_traced(entry, g: Graph, request: SolveRequest, params: Params):
+    """Traced solve: root ``solve`` span + trace/metrics on the envelope."""
+    with _trace.ensure_buffer() as buf:
+        mark = len(buf.spans)
+        before = METRICS.counters_snapshot()
+        t0 = time.perf_counter()
+        with _trace.span(
+            "solve",
+            problem=request.problem,
+            model=request.model,
+            n=g.n,
+            m=g.m,
+            eps=request.eps,
+            kernel_backend=params.kernel_backend or "auto",
+        ) as sp:
+            with kernel_backend_scope(params.kernel_backend):
+                result = entry.fn(g, request, params)
+            if sp is not None:
+                sp.set(
+                    rounds=result.rounds,
+                    words_moved=result.words_moved,
+                    verified=result.verified,
+                )
+        wall = time.perf_counter() - t0
+        return replace(
+            result,
+            wall_time=wall,
+            trace=buf.spans[mark:],
+            metrics=METRICS.delta(before, METRICS.counters_snapshot()),
+        )

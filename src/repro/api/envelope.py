@@ -154,6 +154,10 @@ class SolveResult:
     snapshot: ModelSnapshot | None = None
     raw: object = field(default=None, repr=False, compare=False)
     wall_time: float = 0.0
+    #: Trace subtree of this solve (flat span dicts) when tracing was on.
+    trace: list | None = field(default=None, repr=False, compare=False)
+    #: Counter deltas attributed to this solve when tracing was on.
+    metrics: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -195,6 +199,8 @@ class SolveResult:
             **self.summary(),
             "snapshot": self.snapshot.to_dict() if self.snapshot else None,
             "result_meta": result_meta,
+            "trace": self.trace,
+            "metrics": dict(self.metrics),
         }
         arrays = {"solution": np.asarray(self.solution)}
         return meta, arrays
@@ -228,4 +234,6 @@ class SolveResult:
             snapshot=snapshot,
             raw=raw,
             wall_time=float(meta.get("wall_time", 0.0)),
+            trace=meta.get("trace"),  # absent in pre-obs cache entries
+            metrics=dict(meta.get("metrics") or {}),
         )

@@ -64,6 +64,11 @@ class SolverEntry:
     capabilities: SolverCapabilities = field(default_factory=SolverCapabilities)
     description: str = ""
     legacy_entry: str = ""  # dotted name of the shimmed historical entry point
+    #: Declared asymptotic cost shapes as ``(metric, shape_name)`` pairs,
+    #: e.g. ``(("rounds", "log_delta_plus_loglog_n"),)``.  Shape names index
+    #: :data:`repro.obs.conformance.SHAPES`; ``repro trace conformance``
+    #: fits measured series against them.
+    cost_shapes: tuple[tuple[str, str], ...] = ()
 
     @property
     def key(self) -> tuple[str, str]:
@@ -134,9 +139,14 @@ def register_solver(
     capabilities: SolverCapabilities | None = None,
     description: str = "",
     legacy_entry: str = "",
+    cost_shapes: dict[str, str] | None = None,
     registry: SolverRegistry | None = None,
 ):
-    """Decorator: register an adapter ``fn(graph, request, params)``."""
+    """Decorator: register an adapter ``fn(graph, request, params)``.
+
+    ``cost_shapes`` maps measured metrics to declared asymptotic shape
+    names, e.g. ``{"rounds": "log_delta_plus_loglog_n"}``.
+    """
 
     def deco(fn):
         (registry or REGISTRY).register(
@@ -147,6 +157,7 @@ def register_solver(
                 capabilities=capabilities or SolverCapabilities(),
                 description=description,
                 legacy_entry=legacy_entry,
+                cost_shapes=tuple(sorted((cost_shapes or {}).items())),
             )
         )
         return fn

@@ -76,6 +76,7 @@ def _mpc_ctx(graph: Graph, params: Params) -> MPCContext:
     capabilities=_SIMULATED_CAPS,
     description="Theorem-1 MIS on the MPC accounting layer",
     legacy_entry="repro.core.api.maximal_independent_set",
+    cost_shapes={"rounds": "log_delta_plus_loglog_n", "words_moved": "m"},
 )
 def _solve_mis_simulated(
     graph: Graph, request: SolveRequest, params: Params
@@ -119,6 +120,9 @@ def _solve_mis_simulated(
     capabilities=_SIMULATED_CAPS,
     description="Theorem-1 maximal matching on the MPC accounting layer",
     legacy_entry="repro.core.api.maximal_matching",
+    # No rounds claim: the measured series *falls* with n (per-machine space
+    # grows, so the simulation needs fewer passes) — see ROADMAP observability.
+    cost_shapes={"words_moved": "m"},
 )
 def _solve_matching_simulated(
     graph: Graph, request: SolveRequest, params: Params
@@ -164,6 +168,8 @@ def _solve_matching_simulated(
     capabilities=_DERIVED_CAPS,
     description="2-approximate vertex cover via Theorem-1 matching",
     legacy_entry="repro.core.derived.deterministic_vertex_cover",
+    # Rides on matching: same space-driven falling rounds series, no claim.
+    cost_shapes={"words_moved": "m"},
 )
 def _solve_vc_simulated(
     graph: Graph, request: SolveRequest, params: Params
@@ -198,6 +204,7 @@ def _solve_vc_simulated(
     capabilities=_DERIVED_CAPS,
     description="(Delta+1)-coloring via MIS on G x K_{Delta+1}",
     legacy_entry="repro.core.derived.deterministic_coloring",
+    cost_shapes={"rounds": "log_delta_plus_loglog_n", "words_moved": "m"},
 )
 def _solve_coloring_simulated(
     graph: Graph, request: SolveRequest, params: Params
@@ -242,6 +249,7 @@ def _solve_coloring_simulated(
     capabilities=_DERIVED_CAPS,
     description="2-ruling set via one MIS call on G^2",
     legacy_entry="repro.core.derived.deterministic_ruling_set",
+    cost_shapes={"rounds": "log_delta_plus_loglog_n", "words_moved": "m"},
 )
 def _solve_ruling2_simulated(
     graph: Graph, request: SolveRequest, params: Params
@@ -305,6 +313,7 @@ def engine_space_plan(graph: Graph, params: Params) -> tuple[int, int]:
     capabilities=_ENGINE_CAPS,
     description="Luby MIS executed with real messages on the MPC engine",
     legacy_entry="repro.mpc.distributed_luby.distributed_luby_mis",
+    cost_shapes={"rounds": "log_n", "words_moved": "m_log_n"},
 )
 def _solve_mis_engine(
     graph: Graph, request: SolveRequest, params: Params
@@ -353,6 +362,7 @@ def _solve_mis_engine(
     capabilities=_MODEL_CAPS,
     description="O(log Delta)-round CONGESTED CLIQUE MIS (Corollary 2)",
     legacy_entry="repro.cclique.mis_cc.cc_mis",
+    cost_shapes={"rounds": "log_delta", "words_moved": "n_log_delta"},
 )
 def _solve_mis_cclique(
     graph: Graph, request: SolveRequest, params: Params
@@ -388,6 +398,7 @@ def _solve_mis_cclique(
     capabilities=_MODEL_CAPS,
     description="O(log Delta)-round CONGESTED CLIQUE maximal matching",
     legacy_entry="repro.cclique.mis_cc.cc_maximal_matching",
+    cost_shapes={"rounds": "log_delta", "words_moved": "n_log_delta"},
 )
 def _solve_matching_cclique(
     graph: Graph, request: SolveRequest, params: Params
@@ -428,6 +439,7 @@ def _solve_matching_cclique(
     capabilities=_MODEL_CAPS,
     description="CONGEST MIS with BFS-tree seed broadcast accounting",
     legacy_entry="repro.congest.mis_congest.congest_mis",
+    cost_shapes={"rounds": "depth_log_n", "words_moved": "m_log_delta"},
 )
 def _solve_mis_congest(
     graph: Graph, request: SolveRequest, params: Params
@@ -464,6 +476,7 @@ def _solve_mis_congest(
     capabilities=_MODEL_CAPS,
     description="CONGEST maximal matching via MIS on the line graph",
     legacy_entry="repro.congest.mis_congest.congest_maximal_matching",
+    cost_shapes={"rounds": "depth_log_n", "words_moved": "m_log_delta"},
 )
 def _solve_matching_congest(
     graph: Graph, request: SolveRequest, params: Params

@@ -39,6 +39,7 @@ from ..graphs.linegraph import line_graph
 from ..graphs.power import ball_sizes
 from ..hashing.families import make_color_family
 from ..mpc.context import MPCContext
+from ..obs import trace as _obs
 from .params import Params
 from .records import IterationRecord, MatchingResult, MISResult
 
@@ -144,6 +145,7 @@ def lowdeg_mis(
             raise RuntimeError(
                 f"low-degree MIS failed to converge within {cap} phases"
             )
+        t_phase = _obs.clock() if _obs._TRACING else 0.0
         edges_before = g.m
 
         iso = g.isolated_mask() & ~removed
@@ -236,6 +238,20 @@ def lowdeg_mis(
                 nodes_removed=int(kill.sum()),
             )
         )
+        if _obs._TRACING:
+            _obs.record_span(
+                "lowdeg.phase",
+                t_phase,
+                {
+                    "phase": phase,
+                    "edges_before": edges_before,
+                    "edges_after": g.m,
+                    "seed": sel.seed,
+                    "trials": sel.trials,
+                    "satisfied": sel.satisfied,
+                    "nodes_removed": int(kill.sum()),
+                },
+            )
 
     in_mis |= ~removed
     # Stage accounting: each block of ell phases costs O(1) rounds (one

@@ -41,6 +41,7 @@ from ..graphs.kernels import (
 )
 from ..hashing.kwise import KWiseHashFamily
 from ..mpc.partition import MachineGrouping
+from ..obs import trace as _obs
 from .params import Params
 
 __all__ = [
@@ -381,6 +382,25 @@ def run_stage_seed_search(
     escalations = 0
     trials_total = 0
     best: SeedSelection | None = None
+    t_search = _obs.clock() if _obs._TRACING else 0.0
+
+    def _trace_outcome(outcome: StageSearchOutcome) -> StageSearchOutcome:
+        if _obs._TRACING:
+            _obs.record_span(
+                "stage.seed_search",
+                t_search,
+                {
+                    "machines": total_machines,
+                    "groups": len(groups),
+                    "trials": outcome.trials,
+                    "escalations": outcome.escalations,
+                    "all_good": outcome.all_good,
+                    "seed": outcome.seed,
+                    "workers": workers,
+                },
+            )
+        return outcome
+
     while True:
         kap = kappa  # bind for the closure
         if workers > 1:
@@ -412,7 +432,7 @@ def run_stage_seed_search(
             best = sel
         if sel.satisfied:
             lam = [kappa * b for b in base_slacks]
-            return StageSearchOutcome(
+            return _trace_outcome(StageSearchOutcome(
                 seed=sel.seed,
                 kappa=kappa,
                 escalations=escalations,
@@ -423,7 +443,7 @@ def run_stage_seed_search(
                 mus=tuple(mus),
                 lambdas=tuple(lam),
                 certified_lambdas=certified,
-            )
+            ))
         escalations += 1
         if escalations > params.max_slack_escalations:
             fidelity.append(
@@ -431,7 +451,7 @@ def run_stage_seed_search(
                 f"(best {best.value:.0f}/{total_machines} machines good)"
             )
             lam = [kappa * b for b in base_slacks]
-            return StageSearchOutcome(
+            return _trace_outcome(StageSearchOutcome(
                 seed=best.seed,
                 kappa=kappa,
                 escalations=escalations,
@@ -442,7 +462,7 @@ def run_stage_seed_search(
                 mus=tuple(mus),
                 lambdas=tuple(lam),
                 certified_lambdas=certified,
-            )
+            ))
         fidelity.append(
             f"stage slack escalated to kappa={kappa * params.slack_escalation:.3f}"
         )

@@ -63,6 +63,9 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
+from ..obs import trace as _obs
+from ..obs.metrics import METRICS
+
 __all__ = [
     "BatchObjective",
     "ConditionalExpectationError",
@@ -246,6 +249,8 @@ def fold_scan(
         hits = np.nonzero(vals >= target)[0]
         if hits.size:
             i = int(hits[0])
+            METRICS.inc("seed_scan.early_exits")
+            METRICS.observe("seed_scan.early_exit_depth", trials + i + 1)
             return SeedSelection(
                 seed=int(seeds[i]),
                 value=float(vals[i]),
@@ -277,6 +282,8 @@ def _evaluate_stream(
                 f"batch objective returned shape {vals.shape} for "
                 f"{seeds.size} seeds"
             )
+        METRICS.inc("seed_scan.chunks")
+        METRICS.inc("seed_scan.trials", int(seeds.size))
         yield seeds, vals
 
 
@@ -411,20 +418,36 @@ def select_seed_batch(
     chunk = 1 if resolve_seed_backend(backend) == "scalar" else resolve_seed_chunk(
         chunk_size
     )
+    t_sel = _obs.clock() if _obs._TRACING else 0.0
     if strategy == "conditional_expectation":
         if family_size > enumeration_cap:
             raise ValueError(
                 f"family of size {family_size} exceeds enumeration cap "
                 f"{enumeration_cap}; use strategy='scan'"
             )
-        return _conditional_expectation(family_size, batch_objective, chunk)
-    if strategy == "scan":
+        sel = _conditional_expectation(family_size, batch_objective, chunk)
+    elif strategy == "scan":
         if target is None:
             raise ValueError("scan strategy requires a target")
-        return _scan(family_size, batch_objective, target, max_trials, start, chunk)
-    if strategy == "best_of":
-        return _best_of(family_size, batch_objective, best_of_k, chunk)
-    raise ValueError(f"unknown strategy {strategy!r}")
+        sel = _scan(family_size, batch_objective, target, max_trials, start, chunk)
+    elif strategy == "best_of":
+        sel = _best_of(family_size, batch_objective, best_of_k, chunk)
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    if _obs._TRACING:
+        _obs.record_span(
+            "seed.select",
+            t_sel,
+            {
+                "strategy": sel.strategy,
+                "family_size": family_size,
+                "trials": sel.trials,
+                "seed": sel.seed,
+                "satisfied": sel.satisfied,
+                "chunk": chunk,
+            },
+        )
+    return sel
 
 
 def select_seed(

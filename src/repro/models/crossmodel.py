@@ -42,6 +42,8 @@ class CrossModelRun:
     snapshots: tuple[ModelSnapshot, ...]
     solution_sizes: tuple[tuple[str, int], ...]
     all_verified: bool
+    #: Per-model wall time and (when traced) span counts, in row order.
+    timings: tuple[tuple[str, dict], ...] = ()
 
     def snapshot_for(self, model: str) -> ModelSnapshot:
         for snap in self.snapshots:
@@ -57,6 +59,7 @@ class CrossModelRun:
             "snapshots": [s.to_dict() for s in self.snapshots],
             "solution_sizes": {k: v for k, v in self.solution_sizes},
             "all_verified": self.all_verified,
+            "timings": {k: v for k, v in self.timings},
         }
 
 
@@ -89,6 +92,7 @@ def cross_model_run(
     models = _DEFAULT_MODELS + (("mpc-engine",) if include_engine else ())
     snapshots: list[ModelSnapshot] = []
     sizes: list[tuple[str, int]] = []
+    timings: list[tuple[str, dict]] = []
     all_verified = True
     for model in models:
         if (problem, model) not in REGISTRY:
@@ -98,6 +102,10 @@ def cross_model_run(
         if res.snapshot is not None:
             snapshots.append(res.snapshot)
             sizes.append((res.snapshot.model, res.solution_size))
+            timing = {"wall_time": res.wall_time}
+            if res.trace is not None:
+                timing["trace_spans"] = len(res.trace)
+            timings.append((res.snapshot.model, timing))
 
     return CrossModelRun(
         problem=problem,
@@ -106,4 +114,5 @@ def cross_model_run(
         snapshots=tuple(snapshots),
         solution_sizes=tuple(sizes),
         all_verified=all_verified,
+        timings=tuple(timings),
     )

@@ -41,6 +41,7 @@ import numpy as np
 
 from ..models.ledger import ModelSnapshot
 from ..models.plane import MessageBlock, Plane, route_block
+from ..obs import trace as _obs
 from .exceptions import CapacityExceededError, SpaceExceededError
 from .ledger import RoundLedger
 
@@ -205,6 +206,7 @@ class MPCEngine:
         delivered after all steps complete (appended to the receiver's kept
         items, visible next round).
         """
+        t_round = _obs.clock() if _obs._TRACING else 0.0
         keeps: list[list[Any]] = []
         inboxes: list[list[Any]] = [[] for _ in range(self.num_machines)]
         total_sent = 0
@@ -228,6 +230,25 @@ class MPCEngine:
             self.storage[mid] = new_store
         self.rounds_executed += 1
         self.ledger.charge(category, 1, words=total_sent)
+        if _obs._TRACING:
+            self._record_round_span(t_round, category, total_sent)
+
+    def _record_round_span(
+        self, t_round: float, category: str, total_sent: int
+    ) -> None:
+        """One completed ``engine.round`` span with word/space attributes."""
+        _obs.record_span(
+            "engine.round",
+            t_round,
+            {
+                "round": self.rounds_executed,
+                "category": category,
+                "words_sent": total_sent,
+                "space_high_water": self.max_load_seen,
+                "machines": self.num_machines,
+                "space_limit": self.space,
+            },
+        )
 
     # ------------------------------------------------------------------ #
     # Round execution: columnar backend
@@ -244,6 +265,7 @@ class MPCEngine:
         mirroring the object path's convention of appending own-home
         messages to ``keep`` (they are storage, not communication).
         """
+        t_round = _obs.clock() if _obs._TRACING else 0.0
         m = self.num_machines
         keeps: list[list[Any]] = []
         inboxes: list[list[Any]] = [[] for _ in range(m)]
@@ -286,3 +308,5 @@ class MPCEngine:
             self.storage[mid] = new_store
         self.rounds_executed += 1
         self.ledger.charge(category, 1, words=total_sent)
+        if _obs._TRACING:
+            self._record_round_span(t_round, category, total_sent)

@@ -25,6 +25,7 @@ import math
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from ..obs import trace as _obs
 from .exceptions import SpaceExceededError
 
 __all__ = ["RoundCosts", "RoundLedger", "SpaceTracker"]
@@ -88,6 +89,8 @@ class RoundLedger:
         self.by_category[category] += rounds
         self.events.append((category, rounds))
         self.words_moved += words
+        if _obs._TRACING:
+            _obs.ledger_event(category, rounds, words)
 
     # Convenience wrappers keeping call sites declarative -------------- #
 

@@ -1,0 +1,53 @@
+"""``repro.obs`` — structured tracing, metrics, and theory conformance.
+
+The paper's claims are *resource bounds* — ``O(1/gamma^2)`` low-space MPC
+rounds, ``O(D + seed_bits)`` CONGEST seed fixes — so observability is a
+first-class subsystem here, not an afterthought: you cannot check a round
+bound you cannot see per phase.  Three zero-dependency pieces:
+
+* :mod:`repro.obs.trace` — nested spans (solve → stage → phase →
+  seed-scan → engine round) with attributes and ledger charge events,
+  gated by ``REPRO_TRACE`` so the disabled path is a flag check;
+* :mod:`repro.obs.metrics` — process-global counters / gauges /
+  histograms (seed-scan chunks, early-exit depth, cache hits, worker
+  retries) exported as one flat dict;
+* :mod:`repro.obs.conformance` — first fit of measured rounds-vs-n and
+  words-vs-n series against the asymptotic shapes each registry entry
+  declares (the executable seed of the ROADMAP's symbolic complexity
+  ledger).
+
+Sinks and tooling live in :mod:`repro.obs.sinks` (JSONL traces, the
+Chrome-trace / Perfetto exporter, summaries and diffs) and surface on the
+CLI as ``repro trace`` (:mod:`repro.obs.cli`).
+"""
+
+from __future__ import annotations
+
+from .metrics import METRICS, MetricsRegistry
+from .trace import (
+    Span,
+    TraceBuffer,
+    add_event,
+    current_span,
+    env_trace_destination,
+    is_tracing,
+    record_span,
+    refresh_env,
+    span,
+    trace_capture,
+)
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "Span",
+    "TraceBuffer",
+    "add_event",
+    "current_span",
+    "env_trace_destination",
+    "is_tracing",
+    "record_span",
+    "refresh_env",
+    "span",
+    "trace_capture",
+]

@@ -1,0 +1,107 @@
+"""Process-global counters, gauges, and histograms as one flat dict.
+
+Deliberately minimal: names are dotted strings (``seed_scan.chunks``,
+``runtime.cache.hits``), values are plain numbers, and the whole registry
+exports to a single flat ``{name: value}`` dict so it can ride inside a
+:class:`~repro.api.SolveResult` payload, a JSONL trace line, or a bench
+JSON without a schema.  Histograms keep streaming summaries (count / sum /
+min / max), not buckets — enough for "how deep do seed scans early-exit"
+without reservoir machinery.
+
+Unlike tracing there is no enable gate: an integer add on a dict is cheap
+enough to leave on, and the counters are incremented at chunk / selection /
+job granularity, never per element.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["METRICS", "MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Thread-safe flat registry of counters / gauges / histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._hists: dict[str, dict[str, float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (creating it at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest observed value."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed one sample into histogram ``name``."""
+        with self._lock:
+            h = self._hists.get(name)
+            if h is None:
+                self._hists[name] = {
+                    "count": 1,
+                    "sum": value,
+                    "min": value,
+                    "max": value,
+                }
+            else:
+                h["count"] += 1
+                h["sum"] += value
+                if value < h["min"]:
+                    h["min"] = value
+                if value > h["max"]:
+                    h["max"] = value
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+
+    def export(self) -> dict[str, float]:
+        """Everything, flattened: histograms expand to ``name.count`` etc."""
+        with self._lock:
+            out: dict[str, float] = dict(self._counters)
+            out.update(self._gauges)
+            for name, h in self._hists.items():
+                for stat, v in h.items():
+                    out[f"{name}.{stat}"] = v
+                if h["count"]:
+                    out[f"{name}.mean"] = h["sum"] / h["count"]
+            return out
+
+    def counters_snapshot(self) -> dict[str, float]:
+        """Just the counters, for before/after deltas around a solve."""
+        with self._lock:
+            return dict(self._counters)
+
+    @staticmethod
+    def delta(
+        before: dict[str, float], after: dict[str, float]
+    ) -> dict[str, float]:
+        """Counter increments between two snapshots (zero rows dropped)."""
+        out = {}
+        for name, v in after.items():
+            d = v - before.get(name, 0)
+            if d:
+                out[name] = d
+        return out
+
+    def reset(self) -> None:
+        """Drop everything (test isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+
+#: The process-global registry every instrumentation site writes to.
+METRICS = MetricsRegistry()

@@ -73,6 +73,12 @@ class CacheEntry:
         with np.load(self.npz_path) as z:
             return {name: z[name].copy() for name in z.files}
 
+    def trace(self) -> list | None:
+        """The solve's recorded span list, if the job ran traced."""
+        if self.result_meta is None:
+            return None
+        return self.result_meta.get("trace")
+
     def load_result(self):
         """Rebuild the stored result object (if one was stored).
 

@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 
 from ..graphs.graph import Graph
 from ..graphs.io import graph_fingerprint, graph_to_npz_bytes
+from ..obs import trace as _obs
+from ..obs.metrics import METRICS
 from .cache import ResultCache
 from .spec import ENGINE_PROBLEMS, GraphSource, JobResult, JobSpec
 from .worker import run_job
@@ -47,6 +49,7 @@ _PAYLOAD_FIELDS = (
     "error_type",
     "error_message",
     "error_traceback",
+    "meta",
 )
 
 
@@ -59,6 +62,7 @@ class BatchStats:
     errors: int = 0
     timeouts: int = 0
     cache_hits: int = 0
+    cache_misses: int = 0
     retries_used: int = 0
     wall_time: float = 0.0
     workers: int = 1
@@ -78,12 +82,17 @@ class BatchStats:
             "errors": self.errors,
             "timeouts": self.timeouts,
             "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
             "retries_used": self.retries_used,
             "wall_time": self.wall_time,
             "jobs_per_second": self.jobs_per_second,
             "workers": self.workers,
         }
+
+    def to_payload(self) -> dict:
+        """JSON-safe view (alias of :meth:`to_dict` for payload call sites)."""
+        return self.to_dict()
 
 
 @dataclass
@@ -130,6 +139,10 @@ class Scheduler:
     cache:
         Optional :class:`ResultCache`; hits skip the pool entirely and
         fresh successes are stored back.
+    trace:
+        ``True`` asks each worker to capture a per-job trace (the trace
+        rides inside the result payload, so it lands next to the cached
+        arrays); ``None`` follows the parent's ``REPRO_TRACE`` setting.
     """
 
     def __init__(
@@ -139,6 +152,7 @@ class Scheduler:
         timeout: float | None = None,
         retries: int = 0,
         cache: ResultCache | None = None,
+        trace: bool | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -148,6 +162,7 @@ class Scheduler:
         self.timeout = timeout
         self.retries = retries
         self.cache = cache
+        self.trace = _obs.is_tracing() if trace is None else bool(trace)
 
     # ------------------------------------------------------------------ #
     # Input resolution
@@ -213,17 +228,28 @@ class Scheduler:
                 continue
             _, fingerprint, _ = res
             keys[idx] = spec.cache_key(fingerprint)
+            t_lookup = time.perf_counter()
             hit = self.cache.get(keys[idx]) if self.cache is not None else None
+            lookup_time = time.perf_counter() - t_lookup
             if hit is not None:
-                t_hit = time.perf_counter()
+                # The stored wall_time is the original solve's; the lookup
+                # cost is accounted separately in meta, not smeared over it.
                 job = dict(hit.job)
                 job["status"] = "ok"
-                job["wall_time"] = time.perf_counter() - t_hit
+                job["meta"] = {
+                    **(job.get("meta") or {}),
+                    "cache_hit": True,
+                    "lookup_time": lookup_time,
+                }
                 results[idx] = _result_from_payload_dict(
                     spec, job, attempts=0, cache_hit=True
                 )
                 stats.cache_hits += 1
+                METRICS.inc("runtime.cache.hits")
             else:
+                if self.cache is not None:
+                    stats.cache_misses += 1
+                    METRICS.inc("runtime.cache.misses")
                 pending.append(idx)
 
         if pending:
@@ -260,6 +286,7 @@ class Scheduler:
                 "graph_npz": npz,
                 "fingerprint": fingerprint,
                 "timeout": self.timeout,
+                "trace": self.trace,
             }
 
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
@@ -296,8 +323,11 @@ class Scheduler:
                             "error_message": f"pool-level failure: {exc}",
                             "error_traceback": "",
                         }
+                    if out.get("status") == "timeout":
+                        METRICS.inc("runtime.worker.timeouts")
                     if out.get("status") != "ok" and attempts[idx] <= self.retries:
                         stats.retries_used += 1
+                        METRICS.inc("runtime.worker.retries")
                         queue.append(idx)
                         continue
                     # Failure payloads may predate graph loading in the

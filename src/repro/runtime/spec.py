@@ -329,6 +329,9 @@ class JobResult:
     error_type: str = ""
     error_message: str = ""
     error_traceback: str = field(default="", repr=False)
+    #: Free-form JSON-safe annotations: cache-hit lookup accounting
+    #: (``cache_hit`` / ``lookup_time``), trace span counts, ...
+    meta: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:

@@ -37,6 +37,7 @@ from ..graphs.io import (
     graph_fingerprint,
     graph_from_npz_bytes,
 )
+from ..obs import trace as _obs
 from .spec import ENGINE_PROBLEMS, JobSpec, runtime_entry
 
 __all__ = ["execute_spec", "payload_from_solve_result", "run_job"]
@@ -58,7 +59,7 @@ def payload_from_solve_result(result: SolveResult) -> dict:
     :class:`SolveResult` (see :meth:`repro.runtime.cache.CacheEntry.load_result`).
     """
     meta, arrays = result.to_payload()
-    return {
+    out = {
         "verified": result.verified,
         "solution_size": result.solution_size,
         "path": result.path,
@@ -69,6 +70,11 @@ def payload_from_solve_result(result: SolveResult) -> dict:
         "result_meta": meta,
         "arrays": arrays,
     }
+    if result.trace is not None:
+        # The spans themselves ride in result_meta (and hence land in the
+        # cache next to the arrays); the JobResult carries the head count.
+        out["meta"] = {"trace_spans": len(result.trace)}
+    return out
 
 
 def execute_spec(spec: JobSpec, graph: Graph, *, arc_plane=None) -> dict:
@@ -119,7 +125,14 @@ def run_job(payload: dict) -> dict:
         if npz is not None and spec.problem in ENGINE_PROBLEMS:
             arc_plane = arc_plane_from_npz_bytes(npz)
         out["fingerprint"] = payload.get("fingerprint") or graph_fingerprint(graph)
-        out.update(execute_spec(spec, graph, arc_plane=arc_plane))
+        if payload.get("trace"):
+            # Capture regardless of the worker's environment; solve()
+            # attaches the span subtree to the result, which
+            # payload_from_solve_result ships back through result_meta.
+            with _obs.trace_capture():
+                out.update(execute_spec(spec, graph, arc_plane=arc_plane))
+        else:
+            out.update(execute_spec(spec, graph, arc_plane=arc_plane))
     except JobTimeout:
         out["status"] = "timeout"
         out["error_type"] = "JobTimeout"
