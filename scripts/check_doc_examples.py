@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Run the fenced ``python`` / ``console`` examples in the prose docs.
+
+Doc rot is a correctness bug here: README.md's examples are the de facto
+API contract, so CI executes them.  For each file checked:
+
+* ```` ```python ```` blocks are executed in order, all sharing one
+  namespace per file (README's quickstart defines ``g``; later blocks
+  reuse it — exactly how a reader pasting into one REPL session
+  experiences them);
+* ```` ```console ```` blocks run their ``$ ``-prefixed lines through the
+  shell with ``PYTHONPATH=src`` set;
+* ```` ```bash ```` blocks are *not* run (they include non-hermetic
+  commands like ``git clone``) — use ``console`` for shell examples that
+  must stay runnable.
+
+Everything executes from a scratch working directory (artifact-producing
+examples — ``.repro-cache``, reports — land there, not in the repo) with
+``src/`` on ``sys.path``.  Usage::
+
+    python scripts/check_doc_examples.py [README.md DESIGN.md ...]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_FILES = ("README.md", "DESIGN.md")
+
+FENCE_RE = re.compile(
+    r"^```(\w+)[^\n]*\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL
+)
+
+
+def extract_blocks(text: str) -> list[tuple[str, str, int]]:
+    """``(language, body, line_number)`` for every fenced block."""
+    blocks = []
+    for match in FENCE_RE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        blocks.append((match.group(1).lower(), match.group(2), line))
+    return blocks
+
+
+def run_python_block(body: str, namespace: dict, where: str) -> str | None:
+    """Exec one block in the file's shared namespace; returns an error."""
+    try:
+        exec(compile(body, where, "exec"), namespace)
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the sweep
+        return f"{type(exc).__name__}: {exc}"
+    return None
+
+
+def run_console_block(body: str, env: dict, where: str) -> str | None:
+    """Run each ``$ ``-prefixed line through the shell; returns an error."""
+    for raw in body.splitlines():
+        line = raw.strip()
+        if not line.startswith("$ "):
+            continue  # output lines / comments are illustration
+        cmd = line[2:]
+        proc = subprocess.run(
+            cmd, shell=True, env=env, capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            tail = (proc.stderr or proc.stdout).strip().splitlines()[-3:]
+            return (
+                f"`{cmd}` exited {proc.returncode}: " + " | ".join(tail)
+            )
+    return None
+
+
+def check_file(path: Path, workdir: Path) -> list[str]:
+    """Run every python/console block in ``path``; returns failures."""
+    text = path.read_text()
+    namespace: dict = {"__name__": f"doc_examples_{path.stem}"}
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    failures = []
+    ran = 0
+    for lang, body, line in extract_blocks(text):
+        if lang not in ("python", "console"):
+            continue
+        where = f"{path.name}:{line}"
+        if lang == "python":
+            error = run_python_block(body, namespace, where)
+        else:
+            error = run_console_block(body, env, where)
+        ran += 1
+        if error:
+            failures.append(f"{where} [{lang}] {error}")
+            print(f"  FAIL {where} [{lang}] {error}")
+        else:
+            print(f"  ok   {where} [{lang}]")
+    print(f"{path.name}: {ran} blocks run, {len(failures)} failed")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(a) for a in argv] or [REPO / f for f in DEFAULT_FILES]
+    sys.path.insert(0, str(REPO / "src"))
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="doc-examples-") as scratch:
+        old_cwd = os.getcwd()
+        os.chdir(scratch)
+        try:
+            for path in files:
+                failures += check_file(path, Path(scratch))
+        finally:
+            os.chdir(old_cwd)
+    if failures:
+        print(f"{len(failures)} doc example(s) failed")
+        return 1
+    print("all doc examples run clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -12,7 +12,8 @@ Commands
 ``crossmodel`` bill one input under MPC / CONGESTED CLIQUE / CONGEST
 ``batch``      run a named workload suite through the parallel runtime
 ``cache``      inspect / clear the content-addressed result cache
-``trace``      record / summarize / diff / export traces, fit conformance
+``trace``      record / summarize / diff / export traces, check conformance
+``docs``       regenerate docs/THEORY.md + docs/REGISTRY.md from the registry
 
 Every solve-shaped command routes through :func:`repro.api.solve`; the
 problem-specific commands (``mis`` / ``matching`` / ``vc`` / ``coloring``)
@@ -320,6 +321,25 @@ def cmd_batch(args) -> int:
     return 0 if batch.all_ok else 1
 
 
+def cmd_docs(args) -> int:
+    from .analysis.docgen import check_docs, write_docs
+
+    if args.check:
+        stale = check_docs(args.out)
+        if stale:
+            print(
+                f"docs out of date in {args.out}/: {', '.join(stale)} "
+                f"(regenerate with `python -m repro docs`)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"docs up to date in {args.out}/")
+        return 0
+    for path in write_docs(args.out):
+        print(f"  wrote {path}")
+    return 0
+
+
 def cmd_cache(args) -> int:
     from .runtime import ResultCache
 
@@ -454,6 +474,17 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR,
                        help="result cache directory (REPRO_CACHE_DIR)")
     cache.set_defaults(fn=cmd_cache)
+
+    docs = sub.add_parser(
+        "docs",
+        help="regenerate docs/THEORY.md + docs/REGISTRY.md from the registry",
+    )
+    docs.add_argument("--out", type=str, default="docs",
+                      help="output directory (default: docs)")
+    docs.add_argument("--check", action="store_true",
+                      help="verify the generated docs are current "
+                           "(exit 1 on drift) instead of writing")
+    docs.set_defaults(fn=cmd_docs)
 
     from .obs.cli import add_trace_parser
 

@@ -1,5 +1,6 @@
-"""Analysis: theory bounds, curve fits, and table rendering."""
+"""Analysis: theory bounds, curve fits, table rendering, and doc generation."""
 
+from .docgen import check_docs, registry_markdown, theory_markdown, write_docs
 from .progress import LinearFit, fit_geometric_decay, fit_linear
 from .report import batch_report, cross_model_report, run_report
 from .tables import format_row, render_series, render_table
@@ -16,6 +17,7 @@ from .theory import (
 __all__ = [
     "LinearFit",
     "batch_report",
+    "check_docs",
     "cross_model_report",
     "fit_geometric_decay",
     "fit_linear",
@@ -24,10 +26,13 @@ __all__ = [
     "matching_iteration_bound",
     "mis_iteration_bound",
     "per_machine_space",
+    "registry_markdown",
     "render_series",
     "render_table",
     "run_report",
     "seed_bits_colors",
     "seed_bits_ids",
+    "theory_markdown",
     "total_space_bound",
+    "write_docs",
 ]

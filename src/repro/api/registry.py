@@ -64,11 +64,19 @@ class SolverEntry:
     capabilities: SolverCapabilities = field(default_factory=SolverCapabilities)
     description: str = ""
     legacy_entry: str = ""  # dotted name of the shimmed historical entry point
-    #: Declared asymptotic cost shapes as ``(metric, shape_name)`` pairs,
-    #: e.g. ``(("rounds", "log_delta_plus_loglog_n"),)``.  Shape names index
-    #: :data:`repro.obs.conformance.SHAPES`; ``repro trace conformance``
-    #: fits measured series against them.
-    cost_shapes: tuple[tuple[str, str], ...] = ()
+    #: Declared symbolic cost model: sympy-parseable expressions over the
+    #: shared symbol vocabulary of :mod:`repro.obs.symbolic` (``n``, ``m``,
+    #: ``delta``, ``depth``, ``gamma``, ``seed_bits``, ``machines``,
+    #: ``space``).  Keys: envelope totals (``"rounds"`` /
+    #: ``"words_moved"``), per-charge-category claims under ``"phases"``,
+    #: paper cross-references under ``"refs"``, honest caveats under
+    #: ``"notes"``.  Stored as the raw declaration dict so this module
+    #: never imports sympy; :func:`repro.obs.symbolic.parse_cost_model`
+    #: validates and parses it, ``repro trace conformance`` checks measured
+    #: series against it, and ``repro docs`` renders it into
+    #: ``docs/THEORY.md``.  ``None`` means "no claims declared" — reported
+    #: explicitly, never silently skipped.
+    cost_model: dict | None = field(default=None, compare=False)
 
     @property
     def key(self) -> tuple[str, str]:
@@ -139,13 +147,20 @@ def register_solver(
     capabilities: SolverCapabilities | None = None,
     description: str = "",
     legacy_entry: str = "",
-    cost_shapes: dict[str, str] | None = None,
+    cost_model: dict | None = None,
     registry: SolverRegistry | None = None,
 ):
     """Decorator: register an adapter ``fn(graph, request, params)``.
 
-    ``cost_shapes`` maps measured metrics to declared asymptotic shape
-    names, e.g. ``{"rounds": "log_delta_plus_loglog_n"}``.
+    ``cost_model`` is the symbolic cost declaration (see
+    :attr:`SolverEntry.cost_model`), e.g.::
+
+        cost_model={
+            "rounds": "log(delta) + loglog(n)",
+            "words_moved": "m",
+            "phases": {"stage": {"rounds": "log(delta)"}},
+            "refs": ("Theorem 1",),
+        }
     """
 
     def deco(fn):
@@ -157,7 +172,7 @@ def register_solver(
                 capabilities=capabilities or SolverCapabilities(),
                 description=description,
                 legacy_entry=legacy_entry,
-                cost_shapes=tuple(sorted((cost_shapes or {}).items())),
+                cost_model=cost_model,
             )
         )
         return fn

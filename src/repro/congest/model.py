@@ -71,6 +71,9 @@ class CongestContext:
     #: sequential ``2 * D * seed_bits`` (see :meth:`charge_seed_fix`).
     pipeline_seed_fix: bool = False
     max_words_seen: int = 0
+    #: Longest seed (in bits) any per-bit voting pass fixed — the instance
+    #: value of the ``seed_bits`` cost-model symbol.
+    seed_bits_seen: int = 0
     depth: int = field(init=False)
 
     def __post_init__(self) -> None:
@@ -117,6 +120,7 @@ class CongestContext:
                 "m": self.graph.m,
                 "bfs_depth": self.depth,
                 "pipeline_seed_fix": self.pipeline_seed_fix,
+                "seed_bits": self.seed_bits_seen,
             },
         )
 
@@ -162,6 +166,7 @@ class CongestContext:
         The word volume is unchanged: the same votes move either way.
         """
         bits = max(1, seed_bits)
+        self.seed_bits_seen = max(self.seed_bits_seen, bits)
         depth = max(1, self.depth)
         if self.pipeline_seed_fix:
             rounds = 2 * depth + 2 * (bits - 1)

@@ -57,6 +57,26 @@ class ModelSnapshot:
             "detail": dict(self.detail),
         }
 
+    def symbol_row(self) -> dict:
+        """Symbol values this bill pins down, keyed by the shared
+        vocabulary of :mod:`repro.obs.symbolic` (``machines``, ``space``,
+        ``seed_bits``, ``gamma``, ``depth``).  Only axes the model
+        actually fixed are reported — the symbolic checker treats absent
+        symbols as unmeasurable rather than guessing.
+        """
+        out: dict = {}
+        if self.detail.get("num_machines"):
+            out["machines"] = int(self.detail["num_machines"])
+        if self.space_ceiling is not None:
+            out["space"] = int(self.space_ceiling)
+        if self.detail.get("seed_bits"):
+            out["seed_bits"] = int(self.detail["seed_bits"])
+        if self.detail.get("eps") is not None:
+            out["gamma"] = float(self.detail["eps"])
+        if self.detail.get("bfs_depth"):
+            out["depth"] = int(self.detail["bfs_depth"])
+        return out
+
     @staticmethod
     def from_dict(d: dict) -> "ModelSnapshot":
         return ModelSnapshot(

@@ -48,6 +48,9 @@ class MPCContext:
     costs: RoundCosts = field(default_factory=RoundCosts)
     ledger: RoundLedger = field(init=False)
     space: SpaceTracker = field(init=False)
+    #: Longest seed (in bits) any conditional-expectations fix handled —
+    #: the instance value of the ``seed_bits`` cost-model symbol.
+    seed_bits_seen: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         if not 0 < self.eps <= 1:
@@ -130,6 +133,7 @@ class MPCContext:
                 "m": self.m,
                 "eps": self.eps,
                 "num_machines": self.num_machines,
+                "seed_bits": self.seed_bits_seen,
             },
         )
 
@@ -174,6 +178,7 @@ class MPCContext:
     def charge_seed_fix(self, seed_bits: int, category: str = "seed_fix") -> None:
         # Conditional expectations: every chunk aggregates one partial per
         # machine and broadcasts the winning extension back.
+        self.seed_bits_seen = max(self.seed_bits_seen, int(seed_bits))
         chunks = max(1, math.ceil(max(1, seed_bits) / self.chunk_bits))
         self.ledger.charge_seed_fix(
             seed_bits, self.chunk_bits, category, words=chunks * 2 * self.num_machines

@@ -11,10 +11,16 @@ bound you cannot see per phase.  Three zero-dependency pieces:
 * :mod:`repro.obs.metrics` — process-global counters / gauges /
   histograms (seed-scan chunks, early-exit depth, cache hits, worker
   retries) exported as one flat dict;
-* :mod:`repro.obs.conformance` — first fit of measured rounds-vs-n and
-  words-vs-n series against the asymptotic shapes each registry entry
-  declares (the executable seed of the ROADMAP's symbolic complexity
-  ledger).
+* :mod:`repro.obs.symbolic` — the symbolic complexity ledger: sympy
+  cost expressions over a shared symbol vocabulary (``n``, ``m``,
+  ``delta``, ``depth``, ``gamma``, ``seed_bits``, ``machines``,
+  ``space``) that registry entries declare per envelope total *and* per
+  ledger charge category, plus the constant-fit / asymptotic-dominance
+  checker (lazily imports sympy — the only module here with a
+  third-party dependency beyond numpy);
+* :mod:`repro.obs.conformance` — sweeps of real solves whose measured
+  series (endpoint totals and, under ``--symbolic``, the per-charge
+  streams the tracer records) are checked against those declarations.
 
 Sinks and tooling live in :mod:`repro.obs.sinks` (JSONL traces, the
 Chrome-trace / Perfetto exporter, summaries and diffs) and surface on the

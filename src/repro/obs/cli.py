@@ -7,7 +7,7 @@ Actions (wired into :mod:`repro.__main__`)::
     repro trace top        t.jsonl -k 10
     repro trace diff       a.jsonl b.jsonl
     repro trace export     t.jsonl --out t.perfetto.json
-    repro trace conformance --problem mis --model simulated
+    repro trace conformance --problem mis --model simulated [--symbolic]
 
 ``record`` runs one solve under :func:`~repro.obs.trace.trace_capture`
 (so it works without setting ``REPRO_TRACE``); the other actions are pure
@@ -134,19 +134,27 @@ def _conformance(args) -> int:
         avg_deg=args.avg_deg,
         seed=args.seed,
         reps=args.reps,
+        symbolic=args.symbolic,
     )
     if args.json:
         _emit_json(args.json, report)
         return 0 if report["conformant"] is not False else 1
+    scope = "totals + per-phase charge streams" if args.symbolic else "totals"
     print(f"conformance: {args.problem}/{args.model} over "
-          f"n = {[r['n'] for r in report['rows']]} (x{args.reps} reps)")
+          f"n = {[r['n'] for r in report['rows']]} (x{args.reps} reps, {scope})")
     for fit in report["fits"]:
+        where = fit["category"] or "total"
+        if fit["ok"] is None:
+            label = fit["metric"] or "-"
+            print(f"  [----] {where:20s} {label:12s} {fit['status']}")
+            continue
         mark = "ok " if fit["ok"] else "FAIL"
-        print(f"  [{mark}] {fit['metric']:12s} ~ {fit['shape']:24s} "
-              f"c = {fit['constant']:<12g} R^2 = {fit['r2']:.4f} "
-              f"nrmse = {fit['nrmse']:.4f}")
-    if not report["fits"]:
-        print("  (entry declares no cost shapes; nothing to check)")
+        hows = "tight fit" if fit.get("tight") else "within bound"
+        print(f"  [{mark}] {where:20s} {fit['metric']:12s} ~ {fit['claim']:34s} "
+              f"c = {fit['constant']:<10g} R^2 = {fit['r2']:.4f} "
+              f"nrmse = {fit['nrmse']:.4f} ({hows})")
+    if report.get("notes"):
+        print(f"  note: {report['notes']}")
     return 0 if report["conformant"] is not False else 1
 
 
@@ -205,7 +213,7 @@ def add_trace_parser(sub) -> None:
 
     cf = actions.add_parser(
         "conformance",
-        help="fit measured rounds/words series against declared shapes",
+        help="check measured cost series against declared symbolic claims",
     )
     cf.add_argument("--problem", type=str, default="mis")
     cf.add_argument("--model", type=str, default="simulated")
@@ -215,6 +223,9 @@ def add_trace_parser(sub) -> None:
     cf.add_argument("--seed", type=int, default=7)
     cf.add_argument("--reps", type=int, default=3,
                     help="graphs averaged per size (instance-noise smoothing)")
+    cf.add_argument("--symbolic", action="store_true",
+                    help="also check each declared charge category's "
+                         "per-phase stream (solves run under the tracer)")
     cf.add_argument("--json", type=str, default=None,
                     help="write the full report JSON (- for stdout)")
     cf.set_defaults(fn=cmd_trace, trace_fn=_conformance)

@@ -1,0 +1,199 @@
+"""Edge cases of the symbolic cost-model checker (repro.obs.symbolic).
+
+The happy paths — real sweeps conforming to registry declarations — are
+covered by test_obs.py and the CI conformance smoke; this file pins the
+checker's *judgement calls*: near-flat series under loose bounds,
+single-size sweeps, missing symbols, dominance-order ties, and the
+declaration validation that keeps typos from fitting garbage.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import symbolic as sym
+
+
+def _rows(ns, **extra):
+    return [{"n": n, "m": 3 * n, "delta": 8, **extra} for n in ns]
+
+
+# --------------------------------------------------------------------- #
+# Parsing and declaration validation
+# --------------------------------------------------------------------- #
+
+
+def test_parse_expr_vocabulary_and_shorthands():
+    expr = sym.parse_expr("depth * seed_bits * log(delta)")
+    assert {str(s) for s in expr.free_symbols} == {"depth", "seed_bits", "delta"}
+    # loglog(x) is shorthand for log(log(x)) — same parsed expression.
+    assert sym.parse_expr("loglog(n)") == sym.parse_expr("log(log(n))")
+
+
+def test_parse_expr_rejects_unknown_symbols_by_name():
+    with pytest.raises(ValueError, match="unknown symbols.*'deltta'"):
+        sym.parse_expr("log(deltta) + loglog(n)")
+
+
+def test_parse_expr_rejects_garbage():
+    with pytest.raises(ValueError, match="unparseable"):
+        sym.parse_expr("log(n) +* m")
+
+
+def test_parse_cost_model_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown cost_model keys.*'round'"):
+        sym.parse_cost_model({"round": "log(n)"})
+
+
+def test_parse_cost_model_rejects_unknown_stream_metrics():
+    spec = {"phases": {"stage": {"words_moved": "m"}}}
+    with pytest.raises(ValueError, match="stage.*unknown stream metrics"):
+        sym.parse_cost_model(spec)
+
+
+def test_parse_cost_model_roundtrip_claims():
+    model = sym.parse_cost_model(
+        {
+            "rounds": "log(delta) + loglog(n)",
+            "phases": {"stage": {"rounds": "log(delta)"}},
+            "refs": ("Theorem 1",),
+            "notes": "caveat",
+        }
+    )
+    claims = list(model.claims())
+    assert [(c, m) for c, m, _ in claims] == [
+        (None, "rounds"),
+        ("stage", "rounds"),
+    ]
+    assert model.refs == ("Theorem 1",)
+    assert sym.render_claim(claims[0][2]) == "O(log(delta) + log(log(n)))"
+
+
+def test_parse_cost_model_none_passthrough():
+    assert sym.parse_cost_model(None) is None
+
+
+# --------------------------------------------------------------------- #
+# Evaluation and symbol defaults
+# --------------------------------------------------------------------- #
+
+
+def test_evaluate_expr_clamps_log():
+    # log is log(max(x, 2)): delta = 1 evaluates as log(2), never 0 or
+    # negative, so claimed series stay positive and ratios stay finite.
+    expr = sym.parse_expr("log(delta)")
+    assert sym.evaluate_expr(expr, {"delta": 1}) == pytest.approx(math.log(2))
+
+
+def test_symbol_defaults_derives_seed_bits_and_depth():
+    row = sym.symbol_defaults({"n": 1024})
+    assert row["seed_bits"] == 10
+    assert row["depth"] == math.ceil(math.log(1024))
+    # Explicit values are never overridden.
+    row = sym.symbol_defaults({"n": 1024, "seed_bits": 3})
+    assert row["seed_bits"] == 3
+
+
+def test_symbol_defaults_never_invents_gamma():
+    row = sym.symbol_defaults({"n": 1024})
+    assert "gamma" not in row
+    assert "machines" not in row
+    assert "space" not in row
+
+
+def test_missing_symbols_are_reported_not_guessed():
+    expr = sym.parse_expr("n / gamma**2")
+    with pytest.raises(KeyError, match="gamma"):
+        sym.evaluate_expr(expr, {"n": 64})
+    record = sym.check_series(_rows([64, 128]), [1.0, 2.0], expr)
+    assert record["ok"] is None
+    assert "gamma" in record["status"]
+
+
+# --------------------------------------------------------------------- #
+# Series checking: fit, dominance, and their interaction
+# --------------------------------------------------------------------- #
+
+
+def test_tight_fit_is_conformant_and_tight():
+    rows = _rows([64, 128, 256, 512])
+    expr = sym.parse_expr("m")
+    values = [2.0 * r["m"] for r in rows]
+    record = sym.check_series(rows, values, expr)
+    assert record["ok"] and record["tight"]
+    assert record["constant"] == pytest.approx(2.0)
+    assert record["r2"] == pytest.approx(1.0)
+
+
+def test_near_flat_series_passes_via_dominance():
+    # Round counts that stay flat while the claim allows log n growth:
+    # the constant fit is poor but the series never outgrows the bound.
+    rows = _rows([64, 256, 1024, 4096])
+    expr = sym.parse_expr("log(n)")
+    values = [7.0, 7.0, 8.0, 7.0]
+    record = sym.check_series(rows, values, expr)
+    assert record["ok"] is True
+    assert record["growth_ok"] is True
+    assert record["ratio_growth"] < 1.0  # ratio shrinks under a loose bound
+
+
+def test_outgrowing_series_fails_both_criteria():
+    # A Theta(n) series declared O(log n) must be called non-conformant.
+    rows = _rows([64, 256, 1024, 4096])
+    expr = sym.parse_expr("log(n)")
+    values = [float(r["n"]) for r in rows]
+    record = sym.check_series(rows, values, expr)
+    assert record["ok"] is False
+    assert record["tight"] is False
+    assert record["ratio_growth"] > sym.GROWTH_SLACK
+
+
+def test_single_size_sweep_has_no_growth_verdict():
+    rows = _rows([256])
+    expr = sym.parse_expr("log(n)")
+    # One point: the constant fit is trivially exact (flat-series branch),
+    # growth is unassessable — ok comes from the fit alone.
+    record = sym.check_series(rows, [5.0], expr)
+    assert record["growth_ok"] is None
+    assert record["ratio_growth"] is None
+    assert record["ok"] is True and record["tight"] is True
+
+
+def test_all_zero_series_growth_unassessable():
+    growth = sym.growth_check([0.0, 0.0, 0.0], [1.0, 2.0, 3.0])
+    assert growth["growth_ok"] is None
+
+
+def test_fit_constant_flat_series_r2_branch():
+    # Perfectly reproduced constant series: ss_tot = 0, r2 snaps to 1.
+    fit = sym.fit_constant([3.0, 3.0, 3.0], [1.0, 1.0, 1.0])
+    assert fit["r2"] == 1.0 and fit["fit_ok"]
+    # Constant measured vs growing claim: ss_tot = 0 but residuals real.
+    fit = sym.fit_constant([3.0, 3.0, 3.0], [1.0, 10.0, 100.0])
+    assert fit["r2"] == 0.0
+
+
+# --------------------------------------------------------------------- #
+# Dominance ordering
+# --------------------------------------------------------------------- #
+
+
+def test_compare_growth_strict_orderings():
+    assert sym.compare_growth("1", "log(n)") == "lt"
+    assert sym.compare_growth("log(n)", "loglog(n)") == "gt"
+    assert sym.compare_growth("log(delta) + loglog(n)", "log(n)") == "lt"
+    assert sym.compare_growth("m", "n * log(n)") == "lt"
+
+
+def test_compare_growth_ties():
+    # m and n genuinely tie on the sparse schedule (m = Theta(n)), and
+    # constant-factor re-spellings of one order tie by construction.
+    assert sym.compare_growth("m", "n") == "eq"
+    assert sym.compare_growth("2 * log(n)", "log(n)") == "eq"
+
+
+def test_dominance_order_sorts_and_keeps_ties_stable():
+    ordered = sym.dominance_order(["n * log(n)", "m", "log(n)", "n", "1"])
+    assert [str(e) for e in ordered] == ["1", "log(n)", "m", "n", "n*log(n)"]
