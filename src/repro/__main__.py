@@ -12,6 +12,7 @@ Commands
 ``crossmodel`` bill one input under MPC / CONGESTED CLIQUE / CONGEST
 ``batch``      run a named workload suite through the parallel runtime
 ``cache``      inspect / clear the content-addressed result cache
+``store``      inspect / verify / gc the out-of-core graph store
 ``trace``      record / summarize / diff / export traces, check conformance
 ``docs``       regenerate docs/THEORY.md + docs/REGISTRY.md from the registry
 
@@ -28,7 +29,9 @@ Examples::
     python -m repro matching graph.edges --force lowdeg
     python -m repro crossmodel --n 300 --p 0.03 --problem mis
     python -m repro batch --suite cross-model --workers 4
+    python -m repro batch --suite large-sweep --store-dir /tmp/graphs --workers 4
     python -m repro cache stats
+    python -m repro store stats --store-dir /tmp/graphs
     python -m repro trace record --problem mis --model mpc-engine --out t.jsonl
     python -m repro trace summarize t.jsonl
 """
@@ -251,6 +254,7 @@ def cmd_crossmodel(args) -> int:
 
 
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+DEFAULT_STORE_DIR = os.environ.get("REPRO_GRAPH_STORE", ".repro-graphs")
 
 
 def cmd_batch(args) -> int:
@@ -277,6 +281,7 @@ def cmd_batch(args) -> int:
             timeout=args.timeout,
             retries=args.retries,
             cache=cache,
+            store=args.store_dir,  # None -> follow REPRO_GRAPH_STORE
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -296,6 +301,13 @@ def cmd_batch(args) -> int:
     print(f"  wall time: {st.wall_time:.3f}s ({st.jobs_per_second:.1f} jobs/s)")
     print(f"  cache hits: {st.cache_hits}/{st.total} "
           f"({st.cache_hit_rate:.0%})")
+    print(f"  shipped: {st.bytes_shipped} bytes to workers")
+    if sched.store is not None:
+        line = (f"  store: {st.store_hits} hits, {st.store_misses} built "
+                f"({sched.store.root})")
+        if st.store_fallbacks:
+            line += f", {st.store_fallbacks} shard fallbacks (!)"
+        print(line)
 
     if args.out:
         with open(args.out, "w") as fh:
@@ -352,6 +364,43 @@ def cmd_cache(args) -> int:
     print(f"cache {args.cache_dir}")
     print(f"  entries: {len(cache)} (max {cache.max_entries})")
     print(f"  disk: {size / 1024:.1f} KiB")
+    return 0
+
+
+def cmd_store(args) -> int:
+    from .graphs.store import GraphStore
+
+    store = GraphStore(args.store_dir)
+    if args.action == "gc":
+        res = store.gc(max_bytes=args.max_bytes)
+        print(f"store {args.store_dir}: gc")
+        print(f"  removed: {res['removed_tmp']} tmp dirs, "
+              f"{res['removed_orphans']} orphan objects, "
+              f"{len(res['evicted'])} evicted over budget")
+        print(f"  kept: {res['entries']} graphs, "
+              f"{res['disk_bytes'] / 1e6:.1f} MB")
+        return 0
+    if args.action == "verify":
+        bad = 0
+        for key in store.keys():
+            problems = store.verify(key)
+            if problems:
+                bad += 1
+                print(f"  CORRUPT {key[:16]}..: {'; '.join(problems)}")
+        print(f"store {args.store_dir}: {len(store) - bad}/{len(store)} "
+              f"graphs verified clean")
+        return 1 if bad else 0
+    stats = store.stats()
+    print(f"store {args.store_dir}")
+    budget = (f"{stats['max_bytes'] / 1e6:.1f} MB"
+              if stats["max_bytes"] is not None else "unbounded")
+    print(f"  graphs: {stats['entries']}  "
+          f"disk: {stats['disk_bytes'] / 1e6:.1f} MB  budget: {budget}")
+    for obj in stats["objects"]:
+        shards = obj["shards"]
+        print(f"  {obj['fingerprint'][:16]}..  n={obj['n']:<9} m={obj['m']:<10} "
+              f"{obj['bytes'] / 1e6:8.1f} MB  {shards:3d} shard"
+              f"{'s' if shards != 1 else ''}  {obj['source']}")
     return 0
 
 
@@ -458,6 +507,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result cache directory (REPRO_CACHE_DIR)")
     batch.add_argument("--no-cache", action="store_true",
                        help="disable the result cache for this run")
+    batch.add_argument("--store-dir", type=str, default=None,
+                       help="out-of-core graph store directory; workers mmap "
+                            "CSR shards instead of receiving pickled npz "
+                            "buffers (default: REPRO_GRAPH_STORE if set)")
     batch.add_argument("--out", type=str, default=None,
                        help="write per-job JobResult JSONL to a file")
     batch.add_argument("--json", type=str, default=None,
@@ -474,6 +527,18 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR,
                        help="result cache directory (REPRO_CACHE_DIR)")
     cache.set_defaults(fn=cmd_cache)
+
+    storep = sub.add_parser(
+        "store", help="inspect, verify, or garbage-collect the graph store"
+    )
+    storep.add_argument("action", choices=["stats", "gc", "verify"],
+                        nargs="?", default="stats")
+    storep.add_argument("--store-dir", type=str, default=DEFAULT_STORE_DIR,
+                        help="graph store directory (REPRO_GRAPH_STORE)")
+    storep.add_argument("--max-bytes", type=int, default=None,
+                        help="with gc: evict least-recently-opened graphs "
+                             "until under this disk budget")
+    storep.set_defaults(fn=cmd_store)
 
     docs = sub.add_parser(
         "docs",

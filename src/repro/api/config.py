@@ -45,6 +45,7 @@ _ENV_SPEC = {
         "REPRO_CONGEST_PIPELINE_SEED_FIX",
         lambda s: s.strip().lower() in ("1", "true", "yes", "on"),
     ),
+    "graph_store": ("REPRO_GRAPH_STORE", str),
 }
 
 # Canonical choice tuples live with their resolvers; referenced here so a
@@ -66,6 +67,11 @@ class ExecutionConfig:
     seed_chunk: int | None = None  # seeds per objective block
     seed_scan_workers: int | None = None  # > 1 enables the parallel stage scan
     congest_pipeline_seed_fix: bool | None = None  # O(D + seed_bits) ablation
+    #: Directory of the out-of-core graph store (``REPRO_GRAPH_STORE``).
+    #: When set, the batch scheduler publishes store keys to workers instead
+    #: of pickled npz buffers; workers mmap CSR shards directly.  This is a
+    #: dispatch knob, not a solver knob — it never reaches ``Params``.
+    graph_store: str | None = None
 
     def __post_init__(self) -> None:
         for name, choices in _CHOICES.items():

@@ -19,6 +19,11 @@ import numpy as np
 
 from .graph import Graph
 
+# Re-exported so job specs can name it like any other generator: the
+# block-sampled G(n, p) is defined (and streamed) in .streaming, but its
+# identity as a generator lives in this namespace alongside the rest.
+from .streaming import gnp_block_graph  # noqa: F401  (re-export)
+
 __all__ = [
     "bounded_degree_graph",
     "caterpillar_graph",
@@ -26,6 +31,7 @@ __all__ = [
     "complete_graph",
     "cycle_graph",
     "empty_graph",
+    "gnp_block_graph",
     "gnp_random_graph",
     "grid_graph",
     "hypercube_graph",

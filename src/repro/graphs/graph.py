@@ -38,11 +38,24 @@ release memory); the next :meth:`adjacency_csr` call rebuilds it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Graph"]
+__all__ = ["CSR_ARRAY_FILES", "Graph"]
+
+#: On-disk file names of a graph's canonical + CSR arrays, in the positional
+#: order :meth:`Graph.from_csr_arrays` takes them.  One 1-D int64 ``.npy``
+#: per array — plain npy (not npz) so the files are mmap-compatible.  The
+#: out-of-core store (:mod:`repro.graphs.store`) writes this layout.
+CSR_ARRAY_FILES = (
+    "edges_u.npy",
+    "edges_v.npy",
+    "indptr.npy",
+    "indices.npy",
+    "arc_edge_ids.npy",
+)
 
 
 def _scipy_sparse():
@@ -234,6 +247,26 @@ class Graph:
         return Graph(
             n=n, edges_u=u, edges_v=v, indptr=ptr, indices=idx, arc_edge_ids=eid
         )
+
+    @staticmethod
+    def from_mmap(
+        n: int, directory: "str | Path", *, validate: bool = False
+    ) -> "Graph":
+        """Open a graph from :data:`CSR_ARRAY_FILES` under ``directory``,
+        memory-mapped read-only.
+
+        The ``np.load(mmap_mode="r")`` buffers flow through
+        :meth:`from_csr_arrays` unchanged — read-only memmaps are never
+        copied by construction, so the resident cost is page-cache only
+        and proportional to the pages an algorithm actually touches.
+        ``validate`` defaults off because full validation would fault in
+        every page, defeating the mmap; enable it for untrusted files.
+        """
+        root = Path(directory)
+        arrays = [
+            np.load(root / name, mmap_mode="r") for name in CSR_ARRAY_FILES
+        ]
+        return Graph.from_csr_arrays(n, *arrays, validate=validate)
 
     # ------------------------------------------------------------------ #
     # CSR adjacency backend

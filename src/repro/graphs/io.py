@@ -22,6 +22,7 @@ from .graph import Graph
 __all__ = [
     "arc_plane_from_npz_bytes",
     "graph_fingerprint",
+    "graph_fingerprint_stream",
     "graph_from_npz_bytes",
     "graph_to_npz_bytes",
     "packed_arc_plane",
@@ -58,6 +59,25 @@ def graph_fingerprint(g: Graph) -> str:
     h.update(b"|")
     h.update(np.ascontiguousarray(g.edges_u, dtype="<i8").tobytes())
     h.update(np.ascontiguousarray(g.edges_v, dtype="<i8").tobytes())
+    return h.hexdigest()
+
+
+def graph_fingerprint_stream(n: int, u_chunks, v_chunks) -> str:
+    """:func:`graph_fingerprint` from chunked canonical edge arrays.
+
+    ``u_chunks`` then ``v_chunks`` must concatenate to exactly the canonical
+    ``edges_u`` / ``edges_v`` arrays (sorted, deduplicated, ``u < v``); the
+    digest is byte-identical to the in-memory form for any chunking, which
+    is what lets the out-of-core store hash graphs it never materialises.
+    """
+    h = hashlib.sha256()
+    h.update(_FINGERPRINT_VERSION)
+    h.update(str(int(n)).encode())
+    h.update(b"|")
+    for chunk in u_chunks:
+        h.update(np.ascontiguousarray(chunk, dtype="<i8").tobytes())
+    for chunk in v_chunks:
+        h.update(np.ascontiguousarray(chunk, dtype="<i8").tobytes())
     return h.hexdigest()
 
 

@@ -1,0 +1,818 @@
+"""Out-of-core graph store: disk-backed, memory-mapped CSR shards.
+
+The runtime's batch suites were capped around ``n ~ 3200`` because every
+job regenerated its input in RAM and the scheduler pickled full npz buffers
+into each worker payload.  This module is the other half of the paper's
+low-space story applied to the harness itself: graphs are built *once*,
+shard by row range, into plain ``.npy`` files that workers open with
+``np.load(mmap_mode="r")`` — so an n = 10^6 sweep ships a fingerprint
+instead of a buffer, and peak RSS is bounded by the OS page cache, not the
+materialised edge list.
+
+Layout under ``root`` (content-addressed, mirroring
+:class:`~repro.runtime.cache.ResultCache` conventions)::
+
+    index.jsonl               op log: {"op": "put"|"touch"|"evict", "key", ...}
+    sources.jsonl             generator-call digest -> fingerprint map
+    objects/<fingerprint>/
+        meta.json             n, m, shard table, per-file sha256 checksums
+        edges_u.npy           int64[m]   canonical edge endpoints (u < v)
+        edges_v.npy           int64[m]
+        indptr.npy            int64[n+1] CSR row pointers
+        indices.npy           int64[2m]  CSR neighbour ids
+        arc_edge_ids.npy      int64[2m]  undirected edge id per arc
+
+The five arrays are exactly :meth:`Graph.from_csr_arrays`'s inputs, written
+incrementally shard-by-shard (each shard owns a contiguous row range, hence
+a contiguous slice of every array), so the full edge list never exists in
+the building process either.  The fingerprint is byte-identical to
+:func:`~repro.graphs.io.graph_fingerprint` of the equivalent in-memory
+graph — computed by a chunked second pass over the written endpoint files —
+which is what makes store keys interchangeable with the result cache's
+content addressing.
+
+Integrity: writes build in a temp directory and ``os.rename`` into place
+(atomic on POSIX), ``meta.json`` records a sha256 per array file, and
+:meth:`GraphStore.verify` / ``repro store gc`` recheck them.  The per-job
+open path (:func:`open_stored_graph`) does O(1) structural checks only —
+checksumming 100 MB of shards per job would defeat the mmap — and the
+runtime worker falls back to regenerating from the spec on *any* open
+failure, so a corrupt shard degrades to a warning, not a failed job.
+
+Single-writer semantics, like the result cache: concurrent readers are
+safe; one scheduler should own writes to a store directory at a time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import struct
+import tempfile
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from ..obs import trace as _obs
+from ..obs.metrics import METRICS
+from .graph import CSR_ARRAY_FILES, Graph
+from .io import graph_fingerprint, graph_fingerprint_stream
+from .streaming import edge_count_upper_bound, stream_blocks
+
+__all__ = [
+    "ARRAY_FILES",
+    "GraphStore",
+    "NpyAppendWriter",
+    "StoreCorruptError",
+    "StoreMissError",
+    "StoredGraphInfo",
+    "build_csr_shards",
+    "open_stored_graph",
+]
+
+#: The array files of one stored graph, in on-disk (and hash) order —
+#: exactly :data:`repro.graphs.graph.CSR_ARRAY_FILES`.
+ARRAY_FILES = CSR_ARRAY_FILES
+
+#: Target directed arcs per shard during a build (~32 MB of int64 per
+#: in-flight array); the shard *count* is planning detail, the stored
+#: arrays are identical for any value.
+TARGET_ARCS_PER_SHARD = 1 << 22
+
+#: Hard cap on shards (bounds open spill-file handles during a build).
+MAX_SHARDS = 512
+
+#: Bytes hashed per chunk in the fingerprint / checksum passes.
+_HASH_CHUNK = 1 << 22
+
+_META_VERSION = 1
+
+
+class StoreMissError(KeyError):
+    """The requested fingerprint is not in the store."""
+
+
+class StoreCorruptError(RuntimeError):
+    """A stored object exists but fails structural/integrity checks."""
+
+
+@dataclass(frozen=True)
+class StoredGraphInfo:
+    """What the scheduler needs to dispatch a store-backed job: identity
+    and size, without materialising anything.  ``hit`` records whether the
+    entry already existed (shard hit) or was built by this call."""
+
+    fingerprint: str
+    n: int
+    m: int
+    nbytes: int
+    hit: bool = False
+
+
+# --------------------------------------------------------------------- #
+# Incremental .npy writing
+# --------------------------------------------------------------------- #
+
+_NPY_MAGIC = b"\x93NUMPY" + bytes((1, 0))
+#: Fixed total header size (multiple of 64, as the npy format requires of
+#: header+magic); leaves ~90 chars for the dict — enough for any 1-D shape.
+_NPY_HEADER_TOTAL = 128
+
+
+class NpyAppendWriter:
+    """Write a 1-D ``.npy`` file incrementally, patching the shape on close.
+
+    The npy v1 header is emitted up front at a fixed padded length with a
+    placeholder shape; :meth:`append` streams raw chunks; :meth:`close`
+    seeks back and rewrites the header with the final element count.  The
+    result is a completely standard file that ``np.load(mmap_mode="r")``
+    maps without copying.
+    """
+
+    def __init__(self, path: str | Path, dtype: str = "<i8") -> None:
+        self.path = Path(path)
+        self.dtype = np.dtype(dtype)
+        self.count = 0
+        self._fh = self.path.open("wb")
+        self._fh.write(self._header(0))
+
+    def _header(self, count: int) -> bytes:
+        body = (
+            "{'descr': '%s', 'fortran_order': False, 'shape': (%d,), }"
+            % (self.dtype.str, count)
+        ).encode("latin1")
+        pad = _NPY_HEADER_TOTAL - len(_NPY_MAGIC) - 2 - len(body) - 1
+        if pad < 0:  # pragma: no cover - shapes are bounded well below this
+            raise ValueError("npy header does not fit its fixed padding")
+        return _NPY_MAGIC + struct.pack("<H", pad + len(body) + 1) + body + b" " * pad + b"\n"
+
+    def append(self, arr: np.ndarray) -> None:
+        a = np.ascontiguousarray(arr, dtype=self.dtype)
+        self._fh.write(a.tobytes())
+        self.count += a.size
+
+    def close(self) -> None:
+        self._fh.seek(0)
+        self._fh.write(self._header(self.count))
+        self._fh.close()
+
+
+# --------------------------------------------------------------------- #
+# Spill buckets (raw little-endian int64 append files)
+# --------------------------------------------------------------------- #
+
+
+class _SpillBuckets:
+    """Per-shard append-only spill files for one named int64 field."""
+
+    def __init__(self, root: Path, name: str, buckets: int) -> None:
+        self.root = root
+        self.name = name
+        self._fhs: dict[int, object] = {}
+        self.buckets = buckets
+
+    def _path(self, b: int) -> Path:
+        return self.root / f"{self.name}.{b}.bin"
+
+    def append(self, b: int, arr: np.ndarray) -> None:
+        fh = self._fhs.get(b)
+        if fh is None:
+            fh = self._path(b).open("ab")
+            self._fhs[b] = fh
+        fh.write(np.ascontiguousarray(arr, dtype="<i8").tobytes())
+
+    def read(self, b: int) -> np.ndarray:
+        fh = self._fhs.pop(b, None)
+        if fh is not None:
+            fh.close()
+        p = self._path(b)
+        if not p.exists():
+            return np.empty(0, dtype=np.int64)
+        out = np.fromfile(p, dtype="<i8").astype(np.int64, copy=False)
+        p.unlink()  # shard is consumed exactly once; reclaim as we go
+        return out
+
+    def close(self) -> None:
+        for fh in self._fhs.values():
+            fh.close()
+        self._fhs.clear()
+
+
+# --------------------------------------------------------------------- #
+# Shard-partitioned CSR build
+# --------------------------------------------------------------------- #
+
+
+def _plan_shards(n: int, est_edges: int) -> np.ndarray:
+    """Row starts (length ``shards + 1``) for a row-range partition sized
+    so each shard holds ~:data:`TARGET_ARCS_PER_SHARD` arcs."""
+    if n >= 1 << 31:
+        raise NotImplementedError("store supports n < 2^31")
+    est_arcs = 2 * max(est_edges, 1)
+    shards = min(MAX_SHARDS, max(1, -(-est_arcs // TARGET_ARCS_PER_SHARD)))
+    shards = min(shards, max(n, 1))
+    rows = -(-max(n, 1) // shards)
+    starts = np.arange(0, shards + 1, dtype=np.int64) * rows
+    starts[-1] = n
+    return np.minimum(starts, n)
+
+
+def build_csr_shards(
+    out_dir: str | Path, n: int, blocks, *, est_edges: int = 0
+) -> dict:
+    """Stream edge blocks into the five CSR ``.npy`` files under ``out_dir``.
+
+    Two passes, both bounded by the shard size rather than ``m``:
+
+    1. **Partition** — each incoming ``(k, 2)`` block is canonicalised
+       per-block (``u < v``, self-loops dropped) and spilled to the shard
+       owning ``u``'s row range.
+    2. **Per shard, in row order** — its edges are sorted/deduplicated
+       (duplicates always share a shard, so local dedup is global dedup),
+       assigned consecutive global edge ids, and written; each edge's
+       ``u``-side arc stays local while the ``v``-side arc is spilled
+       forward to ``v``'s shard (``v > u``, so contributions only flow to
+       the shard being processed or later ones — one forward pass
+       suffices).  Row-sorting ``(src, side, edge id)`` reproduces the
+       canonical arc order of :meth:`Graph._from_canonical` exactly.
+
+    Returns the meta dict (without checksums/fingerprint — the caller
+    finalises those).
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    row_starts = _plan_shards(n, est_edges)
+    shards = len(row_starts) - 1
+    counts = np.zeros(max(n, 0) + 1, dtype=np.int64)
+
+    with tempfile.TemporaryDirectory(dir=out, prefix="spill-") as spill_dir:
+        spill = Path(spill_dir)
+        e_u = _SpillBuckets(spill, "eu", shards)
+        e_v = _SpillBuckets(spill, "ev", shards)
+        for block in blocks:
+            arr = np.asarray(block, dtype=np.int64)
+            if arr.size == 0:
+                continue
+            u = np.minimum(arr[:, 0], arr[:, 1])
+            v = np.maximum(arr[:, 0], arr[:, 1])
+            keep = u != v
+            u, v = u[keep], v[keep]
+            if u.size and (u.min(initial=0) < 0 or v.max(initial=-1) >= n):
+                raise ValueError("edge endpoint out of range [0, n)")
+            bucket = np.searchsorted(row_starts, u, side="right") - 1
+            order = np.argsort(bucket, kind="stable")
+            u, v, bucket = u[order], v[order], bucket[order]
+            edges_of = np.searchsorted(bucket, np.arange(shards + 1))
+            for b in np.unique(bucket):
+                lo, hi = edges_of[b], edges_of[b + 1]
+                e_u.append(int(b), u[lo:hi])
+                e_v.append(int(b), v[lo:hi])
+        e_u.close()
+        e_v.close()
+
+        a_src = _SpillBuckets(spill, "asrc", shards)
+        a_dst = _SpillBuckets(spill, "adst", shards)
+        a_eid = _SpillBuckets(spill, "aeid", shards)
+
+        writers = {name: NpyAppendWriter(out / name) for name in ARRAY_FILES}
+        shard_table = []
+        edge_offset = 0
+        try:
+            for s in range(shards):
+                r0, r1 = int(row_starts[s]), int(row_starts[s + 1])
+                u = e_u.read(s)
+                v = e_v.read(s)
+                key = u * np.int64(n) + v
+                order = np.argsort(key, kind="stable")
+                key = key[order]
+                uniq = np.ones(key.size, dtype=bool)
+                uniq[1:] = key[1:] != key[:-1]
+                u, v = u[order][uniq], v[order][uniq]
+                eids = edge_offset + np.arange(u.size, dtype=np.int64)
+                writers["edges_u.npy"].append(u)
+                writers["edges_v.npy"].append(v)
+                # v-side arcs flow to v's shard (>= s); spill before reading
+                # this shard's arc bucket so same-shard arcs are included.
+                vb = np.searchsorted(row_starts, v, side="right") - 1
+                vorder = np.argsort(vb, kind="stable")
+                arcs_of = np.searchsorted(vb[vorder], np.arange(shards + 1))
+                for b in np.unique(vb):
+                    lo, hi = arcs_of[b], arcs_of[b + 1]
+                    sel = vorder[lo:hi]
+                    a_src.append(int(b), v[sel])
+                    a_dst.append(int(b), u[sel])
+                    a_eid.append(int(b), eids[sel])
+                src = np.concatenate([u, a_src.read(s)])
+                dst = np.concatenate([v, a_dst.read(s)])
+                eid_all = np.concatenate([eids, a_eid.read(s)])
+                side = np.zeros(src.size, dtype=np.int64)
+                side[u.size :] = 1
+                arc_order = np.lexsort((eid_all, side, src))
+                writers["indices.npy"].append(dst[arc_order])
+                writers["arc_edge_ids.npy"].append(eid_all[arc_order])
+                if src.size:
+                    counts[r0 + 1 : r1 + 1] += np.bincount(
+                        src - r0, minlength=r1 - r0
+                    )
+                shard_table.append(
+                    {
+                        "rows": [r0, r1],
+                        "edges": int(u.size),
+                        "arcs": int(src.size),
+                    }
+                )
+                edge_offset += int(u.size)
+            np.cumsum(counts, out=counts)
+            writers["indptr.npy"].append(counts)
+        finally:
+            for w in writers.values():
+                w.close()
+            for sp in (a_src, a_dst, a_eid):
+                sp.close()
+    return {
+        "version": _META_VERSION,
+        "n": int(n),
+        "m": edge_offset,
+        "shards": shard_table,
+    }
+
+
+def _file_sha256(path: Path) -> str:
+    h = hashlib.sha256()
+    with path.open("rb") as fh:
+        while True:
+            chunk = fh.read(_HASH_CHUNK)
+            if not chunk:
+                break
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def _mmap_chunks(path: Path):
+    arr = np.load(path, mmap_mode="r")
+    step = _HASH_CHUNK // 8
+    for lo in range(0, arr.size, step):
+        yield arr[lo : lo + step]
+    if arr.size == 0:
+        yield arr
+
+
+def _fingerprint_of_files(n: int, obj_dir: Path) -> str:
+    """Chunked :func:`graph_fingerprint` over the written endpoint files."""
+    return graph_fingerprint_stream(
+        n,
+        _mmap_chunks(obj_dir / "edges_u.npy"),
+        _mmap_chunks(obj_dir / "edges_v.npy"),
+    )
+
+
+def _dir_bytes(obj_dir: Path) -> int:
+    return sum(p.stat().st_size for p in obj_dir.iterdir() if p.is_file())
+
+
+# --------------------------------------------------------------------- #
+# Read path (worker-safe: no index writes)
+# --------------------------------------------------------------------- #
+
+
+def read_meta(root: str | Path, fingerprint: str) -> dict:
+    obj_dir = Path(root) / "objects" / fingerprint
+    meta_path = obj_dir / "meta.json"
+    if not meta_path.exists():
+        raise StoreMissError(fingerprint)
+    with meta_path.open() as fh:
+        return json.load(fh)
+
+
+def open_stored_graph(
+    root: str | Path, fingerprint: str, *, validate: bool = False
+) -> Graph:
+    """Open a stored graph read-only through mmap'd buffers.
+
+    O(1) structural checks always run (array lengths against ``meta.json``,
+    ``indptr`` endpoints) — they touch only file sizes and two pages.  Full
+    buffer validation (``validate=True``) and checksum verification
+    (:meth:`GraphStore.verify`) are explicit, costed choices; the runtime
+    worker instead treats any failure here as "regenerate and warn".
+    """
+    meta = read_meta(root, fingerprint)
+    obj_dir = Path(root) / "objects" / fingerprint
+    n, m = int(meta["n"]), int(meta["m"])
+    try:
+        g = Graph.from_mmap(n, obj_dir, validate=validate)
+    except FileNotFoundError as exc:
+        raise StoreCorruptError(f"{fingerprint}: missing shard file ({exc})") from exc
+    except (ValueError, OSError) as exc:
+        raise StoreCorruptError(
+            f"{fingerprint}: unreadable shard file ({exc})"
+        ) from exc
+    sizes = {
+        "edges_u.npy": g.edges_u.size,
+        "edges_v.npy": g.edges_v.size,
+        "indptr.npy": g.indptr.size,
+        "indices.npy": g.indices.size,
+        "arc_edge_ids.npy": g.arc_edge_ids.size,
+    }
+    expect = {
+        "edges_u.npy": m,
+        "edges_v.npy": m,
+        "indptr.npy": n + 1,
+        "indices.npy": 2 * m,
+        "arc_edge_ids.npy": 2 * m,
+    }
+    for name in ARRAY_FILES:
+        if sizes[name] != expect[name]:
+            raise StoreCorruptError(
+                f"{fingerprint}: {name} has {sizes[name]} elements, "
+                f"expected {expect[name]}"
+            )
+    if int(g.indptr[0]) != 0 or int(g.indptr[-1]) != 2 * m:
+        raise StoreCorruptError(f"{fingerprint}: indptr endpoints corrupt")
+    return g
+
+
+# --------------------------------------------------------------------- #
+# The store
+# --------------------------------------------------------------------- #
+
+
+class GraphStore:
+    """Content-addressed, LRU disk-budgeted store of mmap-ready CSR graphs.
+
+    ``max_bytes`` bounds the object payload on disk (None = unbounded);
+    eviction is least-recently-*opened*, recorded through the same
+    append-only JSONL op-log discipline as the result cache.  The
+    ``sources.jsonl`` map remembers which generator call produced which
+    fingerprint, so :meth:`ensure_generator` can answer "is G(n, p, seed)
+    already on disk?" without generating anything.
+    """
+
+    def __init__(
+        self, root: str | Path, *, max_bytes: int | None = None
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None)")
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.index_path = self.root / "index.jsonl"
+        self.sources_path = self.root / "sources.jsonl"
+        self.max_bytes = max_bytes
+        self._lru: OrderedDict[str, int] = OrderedDict()  # key -> bytes
+        self._sources: dict[str, str] = {}
+        self._ops_replayed = 0
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self._replay()
+
+    # ------------------------------------------------------------------ #
+    # Index / sources logs
+    # ------------------------------------------------------------------ #
+
+    def _replay(self) -> None:
+        if self.index_path.exists():
+            with self.index_path.open() as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        op = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn tail write
+                    self._ops_replayed += 1
+                    key = op.get("key", "")
+                    kind = op.get("op")
+                    if kind == "put":
+                        self._lru[key] = int(op.get("bytes", 0))
+                        self._lru.move_to_end(key)
+                    elif kind == "touch" and key in self._lru:
+                        self._lru.move_to_end(key)
+                    elif kind == "evict":
+                        self._lru.pop(key, None)
+        for key in [k for k in self._lru if not self._meta_path(k).exists()]:
+            del self._lru[key]
+        if self.sources_path.exists():
+            with self.sources_path.open() as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        rec = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    self._sources[rec["source"]] = rec["fingerprint"]
+
+    def _append(self, op: dict) -> None:
+        with self.index_path.open("a") as fh:
+            fh.write(json.dumps(op, sort_keys=True) + "\n")
+        self._ops_replayed += 1
+        if self._ops_replayed > 4 * max(len(self._lru), 1) + 64:
+            tmp = self.index_path.with_suffix(".jsonl.tmp")
+            with tmp.open("w") as fh:
+                for key, nbytes in self._lru.items():
+                    fh.write(
+                        json.dumps({"op": "put", "key": key, "bytes": nbytes})
+                        + "\n"
+                    )
+            tmp.replace(self.index_path)
+            self._ops_replayed = len(self._lru)
+
+    def _record_source(self, source_digest: str, fingerprint: str) -> None:
+        if self._sources.get(source_digest) == fingerprint:
+            return
+        self._sources[source_digest] = fingerprint
+        with self.sources_path.open("a") as fh:
+            fh.write(
+                json.dumps(
+                    {"source": source_digest, "fingerprint": fingerprint}
+                )
+                + "\n"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Paths / dunder
+    # ------------------------------------------------------------------ #
+
+    def _object_dir(self, key: str) -> Path:
+        return self.objects_dir / key
+
+    def _meta_path(self, key: str) -> Path:
+        return self._object_dir(key) / "meta.json"
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._lru
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def keys(self) -> list[str]:
+        """Fingerprints in LRU order (oldest first)."""
+        return list(self._lru)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphStore({os.fspath(self.root)!r}, entries={len(self._lru)}, "
+            f"max_bytes={self.max_bytes})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Core API
+    # ------------------------------------------------------------------ #
+
+    def meta(self, key: str) -> dict:
+        if key not in self._lru:
+            raise StoreMissError(key)
+        return read_meta(self.root, key)
+
+    def info(self, key: str) -> StoredGraphInfo:
+        meta = self.meta(key)
+        return StoredGraphInfo(
+            fingerprint=key,
+            n=int(meta["n"]),
+            m=int(meta["m"]),
+            nbytes=self._lru[key],
+        )
+
+    def open(self, key: str, *, validate: bool = False) -> Graph:
+        """Open a stored graph (mmap) and refresh its LRU position."""
+        if key not in self._lru:
+            raise StoreMissError(key)
+        t0 = _obs.clock()
+        g = open_stored_graph(self.root, key, validate=validate)
+        self._lru.move_to_end(key)
+        self._append({"op": "touch", "key": key})
+        if _obs._TRACING:
+            _obs.record_span(
+                "store.open", t0, {"fingerprint": key[:16], "n": g.n, "m": g.m}
+            )
+        return g
+
+    def put_stream(
+        self, n: int, blocks, *, source: str | None = None, est_edges: int = 0
+    ) -> StoredGraphInfo:
+        """Build shards from an edge-block iterator; returns the stored info.
+
+        Content-addressed writes are deduplicating: if the streamed graph
+        hashes to an existing key, the fresh build is discarded and the
+        existing entry touched.
+        """
+        t0 = _obs.clock()
+        tmp = Path(
+            tempfile.mkdtemp(prefix=".tmp-put-", dir=self.objects_dir)
+        )
+        try:
+            meta = build_csr_shards(tmp, n, blocks, est_edges=est_edges)
+            fingerprint = _fingerprint_of_files(n, tmp)
+            meta["fingerprint"] = fingerprint
+            meta["created_unix"] = time.time()
+            if source is not None:
+                meta["source"] = source
+            meta["checksums"] = {
+                name: _file_sha256(tmp / name) for name in ARRAY_FILES
+            }
+            meta_tmp = tmp / "meta.json"
+            meta_tmp.write_text(json.dumps(meta, indent=1, sort_keys=True))
+            nbytes = _dir_bytes(tmp)
+            final = self._object_dir(fingerprint)
+            if fingerprint in self._lru and self._meta_path(fingerprint).exists():
+                shutil.rmtree(tmp)
+                self._lru.move_to_end(fingerprint)
+                self._append({"op": "touch", "key": fingerprint})
+            else:
+                if final.exists():  # orphan from a dead writer; replace
+                    shutil.rmtree(final)
+                os.rename(tmp, final)
+                self._lru[fingerprint] = nbytes
+                self._lru.move_to_end(fingerprint)
+                self._append(
+                    {
+                        "op": "put",
+                        "key": fingerprint,
+                        "bytes": nbytes,
+                        "at": meta["created_unix"],
+                    }
+                )
+                self._evict_over_budget()
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        if source is not None:
+            self._record_source(_source_digest_raw(source), fingerprint)
+        if _obs._TRACING:
+            _obs.record_span(
+                "store.build",
+                t0,
+                {"fingerprint": fingerprint[:16], "n": n, "m": meta["m"]},
+            )
+        return StoredGraphInfo(
+            fingerprint=fingerprint,
+            n=int(meta["n"]),
+            m=int(meta["m"]),
+            nbytes=self._lru[fingerprint],
+        )
+
+    def put_graph(self, g: Graph, *, source: str | None = None) -> StoredGraphInfo:
+        """Store an already-materialised graph (small inputs, file sources)."""
+        info = self.put_stream(
+            g.n,
+            iter([g.edge_array()]),
+            source=source,
+            est_edges=g.m,
+        )
+        assert info.fingerprint == graph_fingerprint(g)
+        return info
+
+    def ensure_generator(
+        self, name: str, args: dict, *, label: str = ""
+    ) -> StoredGraphInfo:
+        """The graph of a generator call, building shards only on first use.
+
+        A hit resolves through the sources map without generating anything;
+        a miss streams the generator's edge blocks into a new object.
+        Counts ``store.shard_hits`` / ``store.shard_misses``.
+        """
+        digest = _source_digest_raw(
+            json.dumps(
+                {"kind": "generator", "name": name, "args": args},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+        key = self._sources.get(digest)
+        if key is not None and key in self._lru and self._meta_path(key).exists():
+            METRICS.inc("store.shard_hits")
+            info = self.info(key)
+            self._lru.move_to_end(key)
+            self._append({"op": "touch", "key": key})
+            return replace(info, hit=True)
+        METRICS.inc("store.shard_misses")
+        blocks = stream_blocks(name, **args)
+        info = self.put_stream(
+            int(args["n"]),
+            blocks,
+            source=label or name,
+            est_edges=edge_count_upper_bound(name, args),
+        )
+        self._record_source(digest, info.fingerprint)
+        return info
+
+    # ------------------------------------------------------------------ #
+    # Budget / integrity / maintenance
+    # ------------------------------------------------------------------ #
+
+    def disk_usage(self) -> int:
+        """Total stored object bytes (from the index, no filesystem walk)."""
+        return sum(self._lru.values())
+
+    def _evict_over_budget(self) -> list[str]:
+        evicted = []
+        if self.max_bytes is None:
+            return evicted
+        while len(self._lru) > 1 and self.disk_usage() > self.max_bytes:
+            victim, _ = self._lru.popitem(last=False)
+            shutil.rmtree(self._object_dir(victim), ignore_errors=True)
+            self._append({"op": "evict", "key": victim})
+            METRICS.inc("store.evictions")
+            evicted.append(victim)
+        return evicted
+
+    def verify(self, key: str) -> list[str]:
+        """Checksum every array file of ``key``; returns problems (empty = ok)."""
+        meta = self.meta(key)
+        obj_dir = self._object_dir(key)
+        problems = []
+        for name in ARRAY_FILES:
+            path = obj_dir / name
+            if not path.exists():
+                problems.append(f"{name}: missing")
+                continue
+            want = meta.get("checksums", {}).get(name)
+            if want is None:
+                problems.append(f"{name}: no recorded checksum")
+                continue
+            got = _file_sha256(path)
+            if got != want:
+                problems.append(f"{name}: sha256 {got[:12]}.. != {want[:12]}..")
+        return problems
+
+    def delete(self, key: str) -> None:
+        if key not in self._lru:
+            raise StoreMissError(key)
+        del self._lru[key]
+        shutil.rmtree(self._object_dir(key), ignore_errors=True)
+        self._append({"op": "evict", "key": key})
+
+    def gc(self, *, max_bytes: int | None = None) -> dict:
+        """Drop orphaned build debris and enforce a disk budget.
+
+        Removes stale ``.tmp-put-*`` directories (dead writers), object
+        directories the index no longer references, and — when a budget is
+        given (argument overrides the construction-time one) — evicts LRU
+        entries until under it.  Returns a summary dict.
+        """
+        removed_tmp = removed_orphans = 0
+        for child in self.objects_dir.iterdir():
+            if child.name.startswith(".tmp-put-"):
+                shutil.rmtree(child, ignore_errors=True)
+                removed_tmp += 1
+            elif child.is_dir() and child.name not in self._lru:
+                shutil.rmtree(child, ignore_errors=True)
+                removed_orphans += 1
+        budget = self.max_bytes if max_bytes is None else max_bytes
+        evicted: list[str] = []
+        if budget is not None:
+            saved = self.max_bytes
+            self.max_bytes = budget
+            evicted = self._evict_over_budget()
+            self.max_bytes = saved
+        # Drop source-map rows whose fingerprint no longer exists.
+        live = {d: f for d, f in self._sources.items() if f in self._lru}
+        if len(live) != len(self._sources):
+            self._sources = live
+            with self.sources_path.open("w") as fh:
+                for d, f in live.items():
+                    fh.write(
+                        json.dumps({"source": d, "fingerprint": f}) + "\n"
+                    )
+        return {
+            "removed_tmp": removed_tmp,
+            "removed_orphans": removed_orphans,
+            "evicted": evicted,
+            "entries": len(self._lru),
+            "disk_bytes": self.disk_usage(),
+        }
+
+    def stats(self) -> dict:
+        """Disk usage, entry count, and a per-fingerprint size table."""
+        entries = []
+        for key, nbytes in self._lru.items():
+            try:
+                meta = read_meta(self.root, key)
+            except (StoreMissError, json.JSONDecodeError):
+                meta = {}
+            entries.append(
+                {
+                    "fingerprint": key,
+                    "n": meta.get("n"),
+                    "m": meta.get("m"),
+                    "bytes": nbytes,
+                    "shards": len(meta.get("shards", [])),
+                    "source": meta.get("source", ""),
+                }
+            )
+        return {
+            "root": os.fspath(self.root),
+            "entries": len(self._lru),
+            "disk_bytes": self.disk_usage(),
+            "max_bytes": self.max_bytes,
+            "objects": entries,
+        }
+
+
+def _source_digest_raw(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()

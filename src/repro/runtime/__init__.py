@@ -15,7 +15,7 @@ The substrate for serving many solves efficiently:
 """
 
 from .cache import CacheEntry, CacheStats, ResultCache
-from .scheduler import BatchResult, BatchStats, Scheduler
+from .scheduler import BatchResult, BatchStats, ResolvedSource, Scheduler
 from .seed_scan import parallel_scan
 from .spec import (
     PROBLEMS,
@@ -43,6 +43,7 @@ __all__ = [
     "JobResult",
     "JobSpec",
     "PROBLEMS",
+    "ResolvedSource",
     "ResultCache",
     "Scheduler",
     "WorkloadSuite",

@@ -2,9 +2,15 @@
 
 The scheduler owns the whole batch lifecycle:
 
-1. **Resolve** each distinct graph source once in the parent (generator call
-   or file read), fingerprint it, and pack it to npz bytes — N jobs on the
-   same input ship one buffer, never re-generate per worker.
+1. **Resolve** each distinct graph source once in the parent.  Without a
+   graph store this means generate/read, fingerprint, and pack to npz bytes
+   — N jobs on the same input ship one buffer, never re-generate per
+   worker.  With a :class:`~repro.graphs.store.GraphStore` configured
+   (``store=`` or ``REPRO_GRAPH_STORE``), resolution instead *ensures the
+   graph exists on disk* — streaming-capable generators build mmap-ready
+   CSR shards without materialising the edge list in this process — and
+   jobs ship a store key; workers mmap the shards directly, so per-job
+   dispatch cost drops from O(m) pickled bytes to O(1).
 2. **Serve from cache**: jobs whose ``cache_key`` (graph fingerprint x solve
    digest) is already stored come back instantly as ``cache_hit`` results.
 3. **Fan out** the misses over a ``ProcessPoolExecutor``; each worker call
@@ -18,19 +24,46 @@ Results always come back aligned with the input spec order.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from pathlib import Path
 
-from ..graphs.graph import Graph
+from ..api.config import ExecutionConfig
 from ..graphs.io import graph_fingerprint, graph_to_npz_bytes
+from ..graphs.store import GraphStore, StoredGraphInfo
+from ..graphs.streaming import STREAMING_GENERATORS
 from ..obs import trace as _obs
 from ..obs.metrics import METRICS
 from .cache import ResultCache
 from .spec import ENGINE_PROBLEMS, GraphSource, JobResult, JobSpec
 from .worker import run_job
 
-__all__ = ["BatchResult", "BatchStats", "Scheduler"]
+__all__ = ["BatchResult", "BatchStats", "ResolvedSource", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class ResolvedSource:
+    """One distinct input, resolved: identity + how workers will load it.
+
+    Exactly one of ``npz`` (pickled buffer rides in each payload) or
+    ``store_root`` (workers mmap shards from the store) is set.
+    """
+
+    fingerprint: str
+    n: int
+    m: int
+    npz: bytes | None = None
+    store_root: str | None = None
+    store_hit: bool = False
+
+    @property
+    def payload_bytes(self) -> int:
+        """Graph bytes shipped per job payload under this resolution."""
+        if self.npz is not None:
+            return len(self.npz)
+        return len(self.store_root or "") + len(self.fingerprint)
 
 #: JobResult fields the worker payload / cache entry carries verbatim.
 _PAYLOAD_FIELDS = (
@@ -66,6 +99,14 @@ class BatchStats:
     retries_used: int = 0
     wall_time: float = 0.0
     workers: int = 1
+    #: Graph payload bytes handed to the pool across all submissions
+    #: (npz buffers, or store key strings when a graph store is active).
+    bytes_shipped: int = 0
+    #: Distinct sources served from / built into the graph store.
+    store_hits: int = 0
+    store_misses: int = 0
+    #: Jobs whose worker fell back to regenerating after a shard failure.
+    store_fallbacks: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -88,6 +129,10 @@ class BatchStats:
             "wall_time": self.wall_time,
             "jobs_per_second": self.jobs_per_second,
             "workers": self.workers,
+            "bytes_shipped": self.bytes_shipped,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "store_fallbacks": self.store_fallbacks,
         }
 
     def to_payload(self) -> dict:
@@ -143,6 +188,12 @@ class Scheduler:
         ``True`` asks each worker to capture a per-job trace (the trace
         rides inside the result payload, so it lands next to the cached
         arrays); ``None`` follows the parent's ``REPRO_TRACE`` setting.
+    store:
+        Optional out-of-core graph store: a :class:`GraphStore`, a
+        directory path, or ``None`` to follow ``REPRO_GRAPH_STORE``
+        (unset = npz shipping, the historical path).  When active, distinct
+        sources resolve to on-disk CSR shards once and every job ships a
+        store key instead of a pickled buffer.
     """
 
     def __init__(
@@ -153,6 +204,7 @@ class Scheduler:
         retries: int = 0,
         cache: ResultCache | None = None,
         trace: bool | None = None,
+        store: GraphStore | str | Path | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -163,6 +215,11 @@ class Scheduler:
         self.retries = retries
         self.cache = cache
         self.trace = _obs.is_tracing() if trace is None else bool(trace)
+        if store is None:
+            store = ExecutionConfig.from_env().graph_store
+        if store is not None and not isinstance(store, GraphStore):
+            store = GraphStore(store)
+        self.store = store
 
     # ------------------------------------------------------------------ #
     # Input resolution
@@ -170,38 +227,72 @@ class Scheduler:
 
     def _resolve_sources(
         self, specs: list[JobSpec]
-    ) -> dict[GraphSource, tuple[Graph, str, bytes] | Exception]:
-        """Build each distinct source once: graph, fingerprint, npz bytes.
+    ) -> dict[GraphSource, ResolvedSource | Exception]:
+        """Resolve each distinct source once into a :class:`ResolvedSource`.
 
-        The npz payload carries the CSR adjacency buffers, so every worker
-        reconstructs the graph through the validated
+        Without a store, the npz payload carries the CSR adjacency buffers,
+        so every worker reconstructs the graph through the validated
         :meth:`~repro.graphs.graph.Graph.from_csr_arrays` fast path instead
-        of re-sorting the edge list once per job.  Sources feeding
-        engine-model jobs additionally ship the packed arc plane the
-        columnar round core loads from, packed once here rather than once
-        per worker.
+        of re-sorting the edge list once per job; sources feeding
+        engine-model jobs additionally ship the packed arc plane, packed
+        once here rather than once per worker.
+
+        With a store, generator sources with streaming variants build CSR
+        shards straight to disk (never materialising the edge list in this
+        process); other sources materialise once and are put into the
+        store.  Either way the jobs then ship only the store key.
         """
         wants_arcs = {
             spec.source for spec in specs if spec.problem in ENGINE_PROBLEMS
         }
-        resolved: dict[GraphSource, tuple[Graph, str, bytes] | Exception] = {}
+        resolved: dict[GraphSource, ResolvedSource | Exception] = {}
         for spec in specs:
             if spec.source in resolved:
                 continue
             try:
-                g = spec.source.resolve()
-                resolved[spec.source] = (
-                    g,
-                    graph_fingerprint(g),
-                    graph_to_npz_bytes(
-                        g,
-                        include_csr=True,
-                        include_arc_plane=spec.source in wants_arcs,
-                    ),
+                resolved[spec.source] = self._resolve_one(
+                    spec.source, spec.source in wants_arcs
                 )
             except Exception as exc:  # structured parent-side failure
                 resolved[spec.source] = exc
         return resolved
+
+    def _resolve_one(
+        self, source: GraphSource, wants_arc: bool
+    ) -> ResolvedSource:
+        if self.store is not None:
+            root = os.fspath(self.store.root)
+            if source.kind == "generator" and source.name in STREAMING_GENERATORS:
+                info = self.store.ensure_generator(
+                    source.name, dict(source.args), label=source.label()
+                )
+            else:
+                g = source.resolve()
+                hit = graph_fingerprint(g) in self.store
+                put = self.store.put_graph(g, source=source.label())
+                info = StoredGraphInfo(
+                    fingerprint=put.fingerprint,
+                    n=put.n,
+                    m=put.m,
+                    nbytes=put.nbytes,
+                    hit=hit,
+                )
+            return ResolvedSource(
+                fingerprint=info.fingerprint,
+                n=info.n,
+                m=info.m,
+                store_root=root,
+                store_hit=info.hit,
+            )
+        g = source.resolve()
+        return ResolvedSource(
+            fingerprint=graph_fingerprint(g),
+            n=g.n,
+            m=g.m,
+            npz=graph_to_npz_bytes(
+                g, include_csr=True, include_arc_plane=wants_arc
+            ),
+        )
 
     # ------------------------------------------------------------------ #
     # Batch execution
@@ -213,6 +304,12 @@ class Scheduler:
         stats = BatchStats(total=len(specs), workers=self.workers)
         results: list[JobResult | None] = [None] * len(specs)
         resolved = self._resolve_sources(specs)
+        for res in resolved.values():
+            if isinstance(res, ResolvedSource) and res.store_root is not None:
+                if res.store_hit:
+                    stats.store_hits += 1
+                else:
+                    stats.store_misses += 1
 
         pending: list[int] = []
         keys: dict[int, str] = {}
@@ -226,8 +323,7 @@ class Scheduler:
                     error_message=f"input resolution failed: {res}",
                 )
                 continue
-            _, fingerprint, _ = res
-            keys[idx] = spec.cache_key(fingerprint)
+            keys[idx] = spec.cache_key(res.fingerprint)
             t_lookup = time.perf_counter()
             hit = self.cache.get(keys[idx]) if self.cache is not None else None
             lookup_time = time.perf_counter() - t_lookup
@@ -280,14 +376,21 @@ class Scheduler:
 
         def make_payload(idx: int) -> dict:
             spec = specs[idx]
-            _, fingerprint, npz = resolved[spec.source]
-            return {
+            desc: ResolvedSource = resolved[spec.source]
+            payload = {
                 "spec": spec.to_dict(),
-                "graph_npz": npz,
-                "fingerprint": fingerprint,
+                "fingerprint": desc.fingerprint,
                 "timeout": self.timeout,
                 "trace": self.trace,
             }
+            if desc.store_root is not None:
+                payload["graph_store"] = desc.store_root
+            else:
+                payload["graph_npz"] = desc.npz
+            shipped = desc.payload_bytes
+            stats.bytes_shipped += shipped
+            METRICS.inc("runtime.bytes_shipped", shipped)
+            return payload
 
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             queue = list(pending)
@@ -332,11 +435,15 @@ class Scheduler:
                         continue
                     # Failure payloads may predate graph loading in the
                     # worker; the parent resolved the input, so report it.
-                    graph, fingerprint, _ = resolved[spec.source]
-                    out.setdefault("graph_n", graph.n)
-                    out.setdefault("graph_m", graph.m)
+                    desc = resolved[spec.source]
+                    out.setdefault("graph_n", desc.n)
+                    out.setdefault("graph_m", desc.m)
                     if not out.get("fingerprint"):
-                        out["fingerprint"] = fingerprint
+                        out["fingerprint"] = desc.fingerprint
+                    meta = out.get("meta")
+                    if isinstance(meta, dict) and "store_fallback" in meta:
+                        stats.store_fallbacks += 1
+                        METRICS.inc("store.fallbacks")
                     results[idx] = _result_from_payload_dict(
                         spec, out, attempts=attempts[idx]
                     )

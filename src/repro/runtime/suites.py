@@ -17,6 +17,9 @@ Built-ins:
   (Delta+1)-coloring, 2-ruling set) over heterogeneous inputs.
 * ``throughput-micro`` — twenty small, fixed G(n, p) solves; the standard
   workload for scheduler/cache throughput benchmarking.
+* ``large-sweep`` — block-sampled G(n, 8/n) MIS at n = 10^5..10^6; the
+  out-of-core workload, intended to run with a graph store configured so
+  generation streams to CSR shards and workers mmap them.
 * ``cross-model`` — the same inputs solved under every cost model
   registered for MIS (MPC accounting, the literal MPC engine, CONGESTED
   CLIQUE, CONGEST) plus the 2-ruling-set reduction; the workload behind
@@ -196,6 +199,22 @@ def _throughput_micro() -> list[JobSpec]:
     return specs
 
 
+def _large_sweep() -> list[JobSpec]:
+    # The out-of-core regime: inputs sized 10^5..10^6 nodes at constant
+    # average degree 8.  These use the streaming-native block-sampled
+    # G(n, p) generator, so with a graph store configured
+    # (``REPRO_GRAPH_STORE=...`` or ``repro batch --store-dir``) the edge
+    # list is never materialised in the scheduler and workers mmap the CSR
+    # shards — without a store, the in-memory generator still works but
+    # needs RAM proportional to the edge list.  MIS only: the matching
+    # reduction builds a line graph (m nodes), which is its own frontier.
+    specs = []
+    for n in (100_000, 300_000, 1_000_000):
+        src = GraphSource.generator("gnp_block_graph", n=n, p=8.0 / n, seed=1)
+        specs.append(JobSpec("mis", src, tag=f"mis-gnp-n{n}"))
+    return specs
+
+
 register_suite(
     WorkloadSuite(
         "scaling-sweep",
@@ -222,6 +241,13 @@ register_suite(
         "throughput-micro",
         "20 small fixed G(n, p) solves for scheduler/cache benchmarking",
         _throughput_micro,
+    )
+)
+register_suite(
+    WorkloadSuite(
+        "large-sweep",
+        "store-backed G(n, 8/n) MIS at n = 1e5..1e6 (use with a graph store)",
+        _large_sweep,
     )
 )
 register_suite(

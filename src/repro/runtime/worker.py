@@ -15,10 +15,14 @@ call produces the unified :class:`~repro.api.SolveResult`, and
 scheduler and cache consume.  There is no per-problem branching here —
 registering a new solver makes it batch-runnable with no worker change.
 
-The input graph arrives either as pickled-npz bytes (packed once by the
-scheduler, so N jobs on the same graph ship one buffer each without
-re-generating) or as a :class:`~repro.runtime.spec.GraphSource` to resolve
-locally.  Scheduler-packed buffers include the CSR adjacency arrays, so
+The input graph arrives one of three ways: a ``graph_store`` root plus
+fingerprint (the worker mmaps the store's CSR shards read-only — zero-copy,
+page-cache bounded; any open failure falls back to regenerating from the
+spec with a structured ``store_fallback`` warning in the result meta, never
+a job failure), pickled-npz bytes (packed once by the scheduler, so N jobs
+on the same graph ship one buffer each without re-generating), or a bare
+:class:`~repro.runtime.spec.GraphSource` to resolve locally.
+Scheduler-packed buffers include the CSR adjacency arrays, so
 ``graph_from_npz_bytes`` takes the ``Graph.from_csr_arrays`` fast path and
 workers never re-run the O(m log m) adjacency build per job.
 """
@@ -37,10 +41,12 @@ from ..graphs.io import (
     graph_fingerprint,
     graph_from_npz_bytes,
 )
+from ..graphs.store import open_stored_graph
 from ..obs import trace as _obs
+from ..obs.metrics import METRICS
 from .spec import ENGINE_PROBLEMS, JobSpec, runtime_entry
 
-__all__ = ["execute_spec", "payload_from_solve_result", "run_job"]
+__all__ = ["execute_spec", "load_job_graph", "payload_from_solve_result", "run_job"]
 
 
 class JobTimeout(Exception):
@@ -102,12 +108,48 @@ def execute_spec(spec: JobSpec, graph: Graph, *, arc_plane=None) -> dict:
     return out
 
 
+def load_job_graph(spec: JobSpec, payload: dict) -> tuple[Graph, object, dict | None]:
+    """Load a job's input per the payload's shipping mode.
+
+    Returns ``(graph, arc_plane, fallback)`` where ``fallback`` is a
+    structured ``store_fallback`` record when a store-backed open failed and
+    the graph was regenerated from the spec instead — the degraded path is
+    a warning in the result meta, not a job failure.
+    """
+    store_root = payload.get("graph_store")
+    npz = payload.get("graph_npz")
+    if store_root is not None:
+        try:
+            graph = open_stored_graph(store_root, payload["fingerprint"])
+            return graph, None, None
+        except Exception as exc:  # noqa: BLE001 - corrupt/missing shard
+            METRICS.inc("store.fallbacks")
+            fallback = {
+                "fingerprint": payload.get("fingerprint", ""),
+                "store_root": str(store_root),
+                "error_type": type(exc).__name__,
+                "error_message": str(exc),
+            }
+            return spec.source.resolve(), None, fallback
+    if npz is not None:
+        graph = graph_from_npz_bytes(npz)
+        arc_plane = (
+            arc_plane_from_npz_bytes(npz)
+            if spec.problem in ENGINE_PROBLEMS
+            else None
+        )
+        return graph, arc_plane, None
+    return spec.source.resolve(), None, None
+
+
 def run_job(payload: dict) -> dict:
     """Pool entry point: execute one job described by ``payload``.
 
-    ``payload`` keys: ``spec`` (JobSpec dict), ``graph_npz`` (bytes or
-    None), ``timeout`` (seconds or None).  Always returns a dict with a
-    ``status`` of ``"ok"``, ``"error"`` or ``"timeout"`` — never raises.
+    ``payload`` keys: ``spec`` (JobSpec dict), one of ``graph_store`` (store
+    root; mmap by ``fingerprint``) / ``graph_npz`` (bytes) / neither
+    (resolve the source locally), ``timeout`` (seconds or None).  Always
+    returns a dict with a ``status`` of ``"ok"``, ``"error"`` or
+    ``"timeout"`` — never raises.
     """
     t0 = time.perf_counter()
     out: dict = {"status": "ok", "worker_pid": os.getpid(), "fingerprint": ""}
@@ -119,11 +161,7 @@ def run_job(payload: dict) -> dict:
         signal.setitimer(signal.ITIMER_REAL, float(timeout))
     try:
         spec = JobSpec.from_dict(payload["spec"])
-        npz = payload.get("graph_npz")
-        graph = graph_from_npz_bytes(npz) if npz is not None else spec.source.resolve()
-        arc_plane = None
-        if npz is not None and spec.problem in ENGINE_PROBLEMS:
-            arc_plane = arc_plane_from_npz_bytes(npz)
+        graph, arc_plane, fallback = load_job_graph(spec, payload)
         out["fingerprint"] = payload.get("fingerprint") or graph_fingerprint(graph)
         if payload.get("trace"):
             # Capture regardless of the worker's environment; solve()
@@ -133,6 +171,9 @@ def run_job(payload: dict) -> dict:
                 out.update(execute_spec(spec, graph, arc_plane=arc_plane))
         else:
             out.update(execute_spec(spec, graph, arc_plane=arc_plane))
+        if fallback is not None:
+            # Merge, don't clobber: execute_spec may have set trace meta.
+            out["meta"] = {**out.get("meta", {}), "store_fallback": fallback}
     except JobTimeout:
         out["status"] = "timeout"
         out["error_type"] = "JobTimeout"

@@ -1,0 +1,383 @@
+"""Out-of-core graph store: streaming bit-identity, shard build, integrity.
+
+The load-bearing property is **bit-identity**: a streamed generator and its
+in-memory twin must produce byte-identical canonical arrays (hence the same
+content fingerprint) for every seed, or the store's content addressing would
+silently fork the cache.  Hypothesis drives the seeds; the shard builder is
+additionally forced through multi-shard plans via a tiny shard target.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.graphs.store as store_mod
+from repro.graphs import (
+    Graph,
+    GraphStore,
+    StoreCorruptError,
+    StoreMissError,
+    gnp_block_graph,
+    gnp_random_graph,
+    graph_fingerprint,
+    graph_from_npz_bytes,
+    graph_to_npz_bytes,
+    open_stored_graph,
+)
+from repro.graphs.generators import (
+    bounded_degree_graph,
+    power_law_graph,
+    random_regular_graph,
+)
+from repro.graphs.io import graph_fingerprint_stream
+from repro.graphs.store import NpyAppendWriter, build_csr_shards
+from repro.graphs.streaming import (
+    STREAMING_GENERATORS,
+    _triu_pair_of_flat,
+    stream_blocks,
+)
+
+ARRAYS = ("edges_u", "edges_v", "indptr", "indices", "arc_edge_ids")
+
+
+def graph_from_stream(name: str, **kwargs) -> Graph:
+    blocks = [b for b in stream_blocks(name, **kwargs) if b.size]
+    edges = (
+        np.concatenate(blocks) if blocks else np.empty((0, 2), dtype=np.int64)
+    )
+    return Graph.from_edges(kwargs["n"], edges)
+
+
+def assert_same_graph(a: Graph, b: Graph) -> None:
+    assert a.n == b.n
+    for name in ARRAYS:
+        assert np.array_equal(getattr(a, name), getattr(b, name)), name
+    assert graph_fingerprint(a) == graph_fingerprint(b)
+
+
+# --------------------------------------------------------------------- #
+# Streaming bit-identity vs the in-memory generators
+# --------------------------------------------------------------------- #
+
+
+class TestStreamingBitIdentity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(2, 120),
+        p=st.floats(0.0, 0.3),
+        seed=st.integers(0, 2**31),
+    )
+    def test_gnp_stream_matches_in_memory(self, n, p, seed):
+        expected = gnp_random_graph(n, p, seed=seed)
+        got = graph_from_stream("gnp_random_graph", n=n, p=p, seed=seed)
+        assert_same_graph(expected, got)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(2, 100), seed=st.integers(0, 2**31))
+    def test_gnp_stream_chunking_invariance(self, n, seed):
+        # Tiny blocks vs one big block: same Bernoulli stream, same graph.
+        from repro.graphs.streaming import stream_gnp_random_graph
+
+        small = np.concatenate(
+            list(stream_gnp_random_graph(n, 0.15, seed, block_pairs=7))
+        )
+        big = np.concatenate(
+            list(stream_gnp_random_graph(n, 0.15, seed, block_pairs=1 << 22))
+        )
+        assert np.array_equal(small, big)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        nd=st.sampled_from([(10, 3), (24, 4), (60, 3), (80, 6)]),
+        seed=st.integers(0, 2**31),
+    )
+    def test_regular_stream_matches_in_memory(self, nd, seed):
+        n, d = nd
+        expected = random_regular_graph(n, d, seed=seed)
+        got = graph_from_stream("random_regular_graph", n=n, d=d, seed=seed)
+        assert_same_graph(expected, got)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(4, 90),
+        max_deg=st.integers(1, 6),
+        seed=st.integers(0, 2**31),
+    )
+    def test_bounded_degree_stream_matches_in_memory(self, n, max_deg, seed):
+        expected = bounded_degree_graph(n, max_deg, 0.7, seed=seed)
+        got = graph_from_stream(
+            "bounded_degree_graph", n=n, max_deg=max_deg, p_fill=0.7, seed=seed
+        )
+        assert_same_graph(expected, got)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(2, 90),
+        attach=st.integers(1, 4),
+        seed=st.integers(0, 2**31),
+    )
+    def test_power_law_stream_matches_in_memory(self, n, attach, seed):
+        expected = power_law_graph(n, attach, seed=seed)
+        got = graph_from_stream(
+            "power_law_graph", n=n, attach=attach, seed=seed
+        )
+        assert_same_graph(expected, got)
+
+    def test_small_block_flush_boundaries(self):
+        # Force mid-stream flushes in the sequential generators.
+        from repro.graphs.streaming import (
+            stream_bounded_degree_graph,
+            stream_power_law_graph,
+        )
+
+        a = np.concatenate(
+            list(stream_power_law_graph(50, 2, 3, block_edges=5))
+        )
+        b = np.concatenate(list(stream_power_law_graph(50, 2, 3)))
+        assert np.array_equal(a, b)
+        a = np.concatenate(
+            list(stream_bounded_degree_graph(40, 4, 0.8, 3, block_edges=3))
+        )
+        b = np.concatenate(list(stream_bounded_degree_graph(40, 4, 0.8, 3)))
+        assert np.array_equal(a, b)
+
+    def test_gnp_block_graph_is_a_registered_generator(self):
+        from repro.runtime.spec import GENERATOR_NAMES, GraphSource
+
+        assert "gnp_block_graph" in GENERATOR_NAMES
+        src = GraphSource.generator("gnp_block_graph", n=64, p=0.1, seed=2)
+        assert_same_graph(src.resolve(), gnp_block_graph(64, 0.1, 2))
+
+    def test_every_streaming_generator_has_a_twin(self):
+        import repro.graphs.generators as gens
+
+        for name in STREAMING_GENERATORS:
+            assert hasattr(gens, name)
+
+
+class TestTriuInverse:
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 200))
+    def test_matches_triu_indices(self, n):
+        iu, ju = np.triu_indices(n, k=1)
+        flat = np.arange(iu.size, dtype=np.int64)
+        i, j = _triu_pair_of_flat(n, flat)
+        assert np.array_equal(i, iu)
+        assert np.array_equal(j, ju)
+
+
+# --------------------------------------------------------------------- #
+# npy writer + sharded CSR build
+# --------------------------------------------------------------------- #
+
+
+class TestNpyAppendWriter:
+    def test_roundtrip_and_mmap(self, tmp_path):
+        path = tmp_path / "a.npy"
+        w = NpyAppendWriter(path)
+        w.append(np.arange(5))
+        w.append(np.arange(5, 12))
+        w.close()
+        arr = np.load(path)
+        assert np.array_equal(arr, np.arange(12))
+        mm = np.load(path, mmap_mode="r")
+        assert isinstance(mm, np.memmap) and not mm.flags.writeable
+        assert np.array_equal(np.asarray(mm), np.arange(12))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.npy"
+        w = NpyAppendWriter(path)
+        w.close()
+        assert np.load(path).size == 0
+
+
+class TestShardedBuild:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(2, 150),
+        p=st.floats(0.01, 0.2),
+        seed=st.integers(0, 1000),
+    )
+    def test_multi_shard_build_matches_from_edges(self, n, p, seed):
+        # Tiny shard target forces many shards; the written arrays must be
+        # byte-identical to the one-shot in-memory construction.  Fixtures
+        # are function-scoped (a hypothesis health-check violation under
+        # @given), so the patch and temp dir are managed inline.
+        import shutil
+        import tempfile
+        from pathlib import Path
+
+        saved = store_mod.TARGET_ARCS_PER_SHARD
+        store_mod.TARGET_ARCS_PER_SHARD = 64
+        out = Path(tempfile.mkdtemp(prefix="shards-"))
+        try:
+            expected = gnp_random_graph(n, p, seed=seed)
+            meta = build_csr_shards(
+                out,
+                n,
+                stream_blocks("gnp_random_graph", n=n, p=p, seed=seed),
+                est_edges=expected.m,
+            )
+            assert meta["m"] == expected.m
+            got = Graph.from_mmap(n, out, validate=True)
+            assert_same_graph(expected, got)
+            fp = graph_fingerprint_stream(
+                n,
+                [np.load(out / "edges_u.npy", mmap_mode="r")],
+                [np.load(out / "edges_v.npy", mmap_mode="r")],
+            )
+            assert fp == graph_fingerprint(expected)
+        finally:
+            store_mod.TARGET_ARCS_PER_SHARD = saved
+            shutil.rmtree(out, ignore_errors=True)
+
+    def test_duplicate_and_loop_edges_canonicalised(self, tmp_path):
+        blocks = iter(
+            [
+                np.array([[1, 0], [0, 1], [2, 2], [3, 1]], dtype=np.int64),
+                np.array([[0, 1], [1, 3]], dtype=np.int64),
+            ]
+        )
+        meta = build_csr_shards(tmp_path, 4, blocks)
+        g = Graph.from_mmap(4, tmp_path, validate=True)
+        assert meta["m"] == 2 == g.m
+        assert_same_graph(
+            Graph.from_edges(4, [(0, 1), (1, 3)]), g
+        )
+
+    def test_out_of_range_endpoint_rejected(self, tmp_path):
+        blocks = iter([np.array([[0, 7]], dtype=np.int64)])
+        with pytest.raises(ValueError, match="out of range"):
+            build_csr_shards(tmp_path / "x", 4, blocks)
+
+
+# --------------------------------------------------------------------- #
+# GraphStore behaviour
+# --------------------------------------------------------------------- #
+
+
+class TestGraphStore:
+    def test_put_open_roundtrip_and_dedup(self, tmp_path):
+        store = GraphStore(tmp_path)
+        g = gnp_random_graph(120, 0.05, seed=4)
+        info = store.put_graph(g, source="test")
+        assert info.fingerprint == graph_fingerprint(g)
+        assert (info.n, info.m) == (g.n, g.m)
+        assert len(store) == 1
+        # Content-addressed: same graph again is one entry.
+        store.put_graph(g)
+        assert len(store) == 1
+        assert_same_graph(g, store.open(info.fingerprint, validate=True))
+
+    def test_mmap_parity_with_npz_roundtrip_on_solver_output(self, tmp_path):
+        # The mmap-opened Graph must behave identically to the npz path on
+        # real solver output, not just raw arrays.
+        from repro.api import SolveRequest, solve
+
+        g = gnp_random_graph(150, 0.04, seed=8)
+        store = GraphStore(tmp_path)
+        fp = store.put_graph(g).fingerprint
+        via_store = store.open(fp)
+        via_npz = graph_from_npz_bytes(graph_to_npz_bytes(g, include_csr=True))
+        assert_same_graph(via_npz, via_store)
+        r1 = solve(SolveRequest(problem="mis", model="simulated", graph=via_store))
+        r2 = solve(SolveRequest(problem="mis", model="simulated", graph=via_npz))
+        assert r1.verified and r2.verified
+        assert r1.solution_size == r2.solution_size
+        assert np.array_equal(r1.solution, r2.solution)
+
+    def test_ensure_generator_hit_miss(self, tmp_path):
+        store = GraphStore(tmp_path)
+        args = dict(n=80, p=0.05, seed=3)
+        miss = store.ensure_generator("gnp_random_graph", args)
+        assert not miss.hit
+        hit = store.ensure_generator("gnp_random_graph", args)
+        assert hit.hit and hit.fingerprint == miss.fingerprint
+        assert miss.fingerprint == graph_fingerprint(gnp_random_graph(**args))
+
+    def test_open_missing_raises(self, tmp_path):
+        store = GraphStore(tmp_path)
+        with pytest.raises(StoreMissError):
+            store.open("deadbeef")
+        with pytest.raises(StoreMissError):
+            open_stored_graph(tmp_path, "deadbeef")
+
+    def test_corruption_detected_on_open_and_verify(self, tmp_path):
+        store = GraphStore(tmp_path)
+        fp = store.put_graph(gnp_random_graph(90, 0.06, seed=1)).fingerprint
+        assert store.verify(fp) == []
+        victim = store._object_dir(fp) / "indices.npy"
+        data = victim.read_bytes()
+        victim.write_bytes(data[: len(data) // 2])
+        assert any("indices" in p for p in store.verify(fp))
+        with pytest.raises(StoreCorruptError):
+            open_stored_graph(tmp_path, fp)
+        victim.unlink()
+        with pytest.raises(StoreCorruptError, match="missing"):
+            open_stored_graph(tmp_path, fp)
+
+    def test_lru_budget_eviction_and_replay(self, tmp_path):
+        store = GraphStore(tmp_path)
+        fps = [
+            store.put_graph(gnp_random_graph(60, 0.1, seed=s)).fingerprint
+            for s in range(4)
+        ]
+        store.open(fps[0])  # refresh: seed-0 becomes most recent
+        per = store._lru[fps[0]]
+        store.gc(max_bytes=2 * per + per // 2)
+        kept = store.keys()
+        assert fps[0] in kept and len(kept) == 2
+        # A fresh instance replays index.jsonl to the same state.
+        again = GraphStore(tmp_path)
+        assert again.keys() == kept
+        assert again.disk_usage() == store.disk_usage()
+
+    def test_constructor_budget_evicts_on_put(self, tmp_path):
+        g0 = gnp_random_graph(60, 0.1, seed=0)
+        probe = GraphStore(tmp_path / "probe").put_graph(g0)
+        store = GraphStore(tmp_path / "s", max_bytes=probe.nbytes + 10)
+        store.put_graph(g0)
+        fp1 = store.put_graph(gnp_random_graph(60, 0.1, seed=1)).fingerprint
+        assert store.keys() == [fp1]
+
+    def test_gc_removes_orphans_and_tmp(self, tmp_path):
+        store = GraphStore(tmp_path)
+        store.put_graph(gnp_random_graph(40, 0.1, seed=0))
+        (store.objects_dir / ".tmp-put-dead").mkdir()
+        orphan = store.objects_dir / ("f" * 64)
+        orphan.mkdir()
+        (orphan / "meta.json").write_text("{}")
+        res = store.gc()
+        assert res["removed_tmp"] == 1 and res["removed_orphans"] == 1
+        assert len(store) == 1
+
+    def test_index_compaction(self, tmp_path):
+        store = GraphStore(tmp_path)
+        fp = store.put_graph(gnp_random_graph(30, 0.1, seed=0)).fingerprint
+        for _ in range(200):
+            store.open(fp)
+        ops = [
+            json.loads(line)
+            for line in store.index_path.read_text().splitlines()
+        ]
+        assert len(ops) < 200  # compaction rewrote the log
+        assert GraphStore(tmp_path).keys() == [fp]
+
+    def test_stats_shape(self, tmp_path):
+        store = GraphStore(tmp_path)
+        store.put_graph(gnp_random_graph(50, 0.08, seed=2), source="lbl")
+        s = store.stats()
+        assert s["entries"] == 1 and s["disk_bytes"] > 0
+        (obj,) = s["objects"]
+        assert obj["n"] == 50 and obj["source"] == "lbl"
+
+    def test_empty_graph_roundtrip(self, tmp_path):
+        store = GraphStore(tmp_path)
+        info = store.put_graph(Graph.empty(7))
+        g = store.open(info.fingerprint, validate=True)
+        assert g.n == 7 and g.m == 0
