@@ -117,6 +117,59 @@ def write_speedup_baseline(
     print(f"[baseline] wrote {path}")
 
 
+def summarize_results(results_dir: Path = RESULTS_DIR) -> dict:
+    """Merge every ``BENCH_*.json`` artifact into one summary payload.
+
+    Per bench, per case: the timing columns (keys ending ``_s``) collapse
+    to the winning backend and its wall time, alongside the case's
+    ``speedup`` / ``identical`` flags when present.  Cases without timing
+    columns (pure acceptance/accounting benches) are skipped; benches
+    whose JSON cannot be parsed are listed under ``unreadable`` instead of
+    aborting the merge.  ``scripts/bench_report.py`` wraps this as the CI
+    aggregation step that emits ``BENCH_summary.json``.
+    """
+    benches: dict[str, dict] = {}
+    unreadable: list[str] = []
+    for path in sorted(Path(results_dir).glob("BENCH_*.json")):
+        if path.name == "BENCH_summary.json":
+            continue  # never merge a previous summary into itself
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            unreadable.append(path.name)
+            continue
+        cases: dict[str, dict] = {}
+        for name, case in (doc.get("cases") or {}).items():
+            if not isinstance(case, dict):
+                continue
+            timings = {
+                k[:-2]: v
+                for k, v in case.items()
+                if k.endswith("_s") and isinstance(v, (int, float))
+            }
+            if not timings:
+                continue
+            best = min(timings, key=timings.get)
+            rec: dict = {
+                "best_backend": best,
+                "best_s": timings[best],
+                "timings": timings,
+            }
+            for extra in ("speedup", "identical"):
+                if extra in case:
+                    rec[extra] = case[extra]
+            cases[name] = rec
+        benches[str(doc.get("bench", path.stem))] = {
+            "source": path.name,
+            "mode": doc.get("mode"),
+            "cases": cases,
+        }
+    summary = {"benches": benches, "bench_count": len(benches)}
+    if unreadable:
+        summary["unreadable"] = unreadable
+    return summary
+
+
 def emit(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

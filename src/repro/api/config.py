@@ -61,8 +61,8 @@ _CHOICES = {
 class ExecutionConfig:
     """All execution-backend knobs; ``None`` fields inherit env/defaults."""
 
-    kernel_backend: str | None = None  # csr | legacy
-    seed_backend: str | None = None  # batched | scalar
+    kernel_backend: str | None = None  # csr | legacy | jit
+    seed_backend: str | None = None  # batched | scalar | jit
     engine_backend: str | None = None  # columnar | legacy
     seed_chunk: int | None = None  # seeds per objective block
     seed_scan_workers: int | None = None  # > 1 enables the parallel stage scan

@@ -163,7 +163,7 @@ def good_nodes_mis(
     inv_deg[nz] = 1.0 / deg[nz]
 
     # acc[v, i] = sum of 1/d(u) over neighbours u of v in class i.
-    if g.m and HAS_SCIPY and resolve_backend(backend) == "csr":
+    if g.m and HAS_SCIPY and resolve_backend(backend) != "legacy":
         # One sparse mat-mat product against the class-indicator weights:
         # W[u, i] = 1/d(u) iff class_of[u] == i, so (A @ W)[v, i] is exactly
         # the class-i neighbourhood sum.

@@ -40,10 +40,10 @@ class Params:
     max_scan_trials: int = 512
     best_of_k: int = 64
     enumeration_cap: int = 1 << 16
-    seed_backend: str | None = None  # batched | scalar | None (REPRO_SEED_BACKEND)
+    seed_backend: str | None = None  # batched | scalar | jit (REPRO_SEED_BACKEND)
     seed_chunk: int | None = None  # seeds per objective block (REPRO_SEED_CHUNK)
     seed_scan_workers: int = 0  # >1 enables the process-parallel stage scan
-    kernel_backend: str | None = None  # csr | legacy | None (REPRO_KERNEL_BACKEND)
+    kernel_backend: str | None = None  # csr | legacy | jit (REPRO_KERNEL_BACKEND)
     engine_backend: str | None = None  # columnar | legacy (REPRO_ENGINE_BACKEND)
     congest_pipeline_seed_fix: bool = False  # CONGEST O(D + seed_bits) ablation
     target_safety: float = 1.0  # multiplies the paper's progress constants

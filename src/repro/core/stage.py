@@ -30,6 +30,7 @@ import numpy as np
 from ..derand.estimators import certified_slacks
 from ..derand.strategies import (
     SeedSelection,
+    resolve_seed_backend,
     resolve_seed_workers,
     select_seed_batch,
 )
@@ -377,6 +378,11 @@ def run_stage_seed_search(
 
     goodness = StageGoodness(family, threshold, groups, mus, base_slacks)
     workers = resolve_seed_workers(params.seed_scan_workers)
+    # The jit seed backend swaps the per-chunk numpy counting kernel for
+    # one fused compiled loop (serial scans only: the process pool ships
+    # the numpy payload).  Bit-identical counts either way, so the
+    # selection outcome cannot depend on the resolved backend.
+    use_jit = workers <= 1 and resolve_seed_backend(params.seed_backend) == "jit"
 
     kappa = float(max(n, 2) ** (0.1 * params.delta_value))
     escalations = 0
@@ -417,9 +423,15 @@ def run_stage_seed_search(
                 workers=workers,
             )
         else:
+            if use_jit:
+                from ..derand.seed_jit import make_stage_objective
+
+                objective = make_stage_objective(goodness, kap)
+            else:
+                objective = lambda seeds: goodness.counts(seeds, kap)  # noqa: E731
             sel = select_seed_batch(
                 family.size,
-                lambda seeds: goodness.counts(seeds, kap),
+                objective,
                 strategy="scan",
                 target=float(total_machines),
                 max_trials=params.max_scan_trials,

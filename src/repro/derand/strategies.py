@@ -45,10 +45,13 @@ and ``family_mean``, enforced by property tests and the
 ``bench_seed_search`` parity gate.
 
 Backend selection mirrors the PR-2 kernel switch: ``backend="batched" |
-"scalar" | None``, where ``None`` resolves through ``REPRO_SEED_BACKEND``
-and defaults to ``"batched"``.  The ``"scalar"`` backend runs the same
-engine with chunk size 1 (lazy, one objective evaluation per trial) and
-exists as the like-for-like baseline / bisection fallback.
+"scalar" | "jit" | None``, where ``None`` resolves through
+``REPRO_SEED_BACKEND`` and defaults to ``"batched"``.  The ``"scalar"``
+backend runs the same engine with chunk size 1 (lazy, one objective
+evaluation per trial) and exists as the like-for-like baseline / bisection
+fallback.  The ``"jit"`` backend keeps the batched engine but lets call
+sites swap in fused compiled objectives (:mod:`repro.derand.seed_jit`); it
+degrades to ``"batched"`` when numba is unavailable.
 
 The round cost of a selection is charged by the *caller* through the ledger
 (``charge_seed_fix``), because it depends on model constants, not on which
@@ -92,7 +95,7 @@ Objective = Callable[[int], float]
 #: Batched objective: maps an int64 seed block to per-seed float64 scores.
 BatchObjective = Callable[[np.ndarray], np.ndarray]
 
-SEED_BACKENDS = ("batched", "scalar")
+SEED_BACKENDS = ("batched", "scalar", "jit")
 DEFAULT_SEED_BACKEND = "batched"
 DEFAULT_SEED_CHUNK = 64
 
@@ -108,12 +111,24 @@ class ConditionalExpectationError(RuntimeError):
 
 
 def resolve_seed_backend(backend: str | None = None) -> str:
-    """Resolve an explicit or environment-selected seed-search backend."""
+    """Resolve an explicit or environment-selected seed-search backend.
+
+    ``"jit"`` (fused compiled seed-scan objectives, see
+    :mod:`repro.derand.seed_jit`) degrades to ``"batched"`` when numba is
+    unavailable -- same one-time warning + ``kernels.jit_fallbacks``
+    counter as the kernel-backend resolver, never an error.
+    """
     resolved = backend or os.environ.get("REPRO_SEED_BACKEND", DEFAULT_SEED_BACKEND)
     if resolved not in SEED_BACKENDS:
         raise ValueError(
             f"unknown seed backend {resolved!r}; expected one of {SEED_BACKENDS}"
         )
+    if resolved == "jit":
+        from ..graphs import kernels_jit
+
+        if not kernels_jit.available():
+            kernels_jit.note_fallback("seed backend resolution")
+            return DEFAULT_SEED_BACKEND
     return resolved
 
 

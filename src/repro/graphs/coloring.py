@@ -118,7 +118,17 @@ def _linial_step(
     for j in range(1, d + 1):
         vander[:, j] = (vander[:, j - 1] * xs) % q
     evals = (coeffs @ vander.T) % q  # (n, q): evals[v, x] = p_v(x)
-    if resolve_backend(backend) == "legacy":
+    resolved = resolve_backend(backend)
+    if resolved == "jit":
+        # Compiled clash kernel: per node, scan evaluation points until one
+        # is free of neighbour collisions (early exit per point).  The
+        # first free point is unique, so the result is bit-identical to
+        # both numpy specialisations below.
+        from .kernels_jit import linial_first_free
+
+        x_of = linial_first_free(evals, g.indices, g.indptr)
+        return x_of * q + evals[np.arange(g.n), x_of], q * q
+    if resolved == "legacy":
         new_colors = np.empty(g.n, dtype=np.int64)
         for v in range(g.n):
             nbrs = g.neighbors(v)

@@ -18,11 +18,14 @@ stream and return bit-identical solutions to the legacy per-iteration
 rebuild paths.  That equivalence is enforced by property tests and by the
 ``bench_kernels`` regression gate.
 
-Backend selection: solvers take ``backend="csr" | "legacy" | None``; ``None``
-resolves through a process-local override (see :func:`kernel_backend_scope`,
-which :func:`repro.api.solve` uses to apply a consolidated
-:class:`~repro.api.ExecutionConfig`), then the ``REPRO_KERNEL_BACKEND``
-environment variable, and defaults to ``"csr"``.
+Backend selection: solvers take ``backend="csr" | "legacy" | "jit" | None``;
+``None`` resolves through a process-local override (see
+:func:`kernel_backend_scope`, which :func:`repro.api.solve` uses to apply a
+consolidated :class:`~repro.api.ExecutionConfig`), then the
+``REPRO_KERNEL_BACKEND`` environment variable, and defaults to ``"csr"``.
+The ``jit`` backend (numba-compiled fused loops, see
+:mod:`repro.graphs.kernels_jit`) resolves to ``"csr"`` with a one-time
+warning when numba is unavailable.
 """
 
 from __future__ import annotations
@@ -55,7 +58,7 @@ __all__ = [
     "segment_sum_2d",
 ]
 
-BACKENDS = ("csr", "legacy")
+BACKENDS = ("csr", "legacy", "jit")
 DEFAULT_BACKEND = "csr"
 
 try:  # scipy is an optional accelerator, not a hard dependency
@@ -72,7 +75,13 @@ _BACKEND_OVERRIDE: ContextVar[str | None] = ContextVar(
 
 
 def resolve_backend(backend: str | None = None) -> str:
-    """Resolve an explicit, scoped, or environment-selected kernel backend."""
+    """Resolve an explicit, scoped, or environment-selected kernel backend.
+
+    ``"jit"`` degrades gracefully: when numba is missing or import-broken
+    the resolved backend is ``"csr"`` (one-time ``JitFallbackWarning`` plus
+    a ``kernels.jit_fallbacks`` counter per fallback), so downstream branch
+    sites never see an unusable backend name.
+    """
     resolved = (
         backend
         or _BACKEND_OVERRIDE.get()
@@ -82,6 +91,12 @@ def resolve_backend(backend: str | None = None) -> str:
         raise ValueError(
             f"unknown kernel backend {resolved!r}; expected one of {BACKENDS}"
         )
+    if resolved == "jit":
+        from . import kernels_jit
+
+        if not kernels_jit.available():
+            kernels_jit.note_fallback("kernel backend resolution")
+            return DEFAULT_BACKEND
     return resolved
 
 
@@ -181,18 +196,25 @@ def segment_sum_2d(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     return out
 
 
-def segment_count_2d(mask: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+def segment_count_2d(
+    mask: np.ndarray, indptr: np.ndarray, *, backend: str | None = None
+) -> np.ndarray:
     """int32[S, n]: per-segment count of True along axis 1 (0 when empty).
 
     Exact integer sums via a per-row prefix sum plus boundary differences
     -- one contiguous pass over the block instead of a ``reduceat`` per
     segment start, which matters when segments are small and numerous
-    (machine groups, neighbourhood lists).
+    (machine groups, neighbourhood lists).  Under the ``jit`` backend the
+    count runs as one compiled loop with no prefix-sum intermediate.
     """
     s, width = mask.shape
     n = indptr.size - 1
     if width == 0 or n == 0:
         return np.zeros((s, n), dtype=np.int32)
+    if resolve_backend(backend) == "jit":
+        from . import kernels_jit
+
+        return kernels_jit.segment_count_2d(mask, indptr)
     # Contiguous cumsum (the fast path), then gather the prefix value at
     # every segment boundary: prefix(j) = cum[:, j-1] with prefix(0) = 0.
     cum = np.cumsum(mask, axis=1, dtype=np.int32)
@@ -250,15 +272,22 @@ def _padded_table(
     return table
 
 
-def segment_min_block_fn(cols: np.ndarray, indptr: np.ndarray, width: int):
+def segment_min_block_fn(
+    cols: np.ndarray, indptr: np.ndarray, width: int, *, backend: str | None = None
+):
     """Build ``f(values, fill) -> (S, M)``: per-segment min of ``values[:, cols]``.
 
     ``values`` is an ``(S, width)`` seed block; segment ``i`` reduces
     ``cols[indptr[i]:indptr[i+1]]``.  The returned callable is built once
     per search (precomputing the padded table or scatter owners) and
     called once per seed chunk.  Empty segments yield ``fill``; row ``s``
-    equals the scalar per-seed reduction bit-for-bit.
+    equals the scalar per-seed reduction bit-for-bit.  The ``jit`` backend
+    swaps in the compiled fused loop (no padded gather table).
     """
+    if resolve_backend(backend) == "jit":
+        from . import kernels_jit
+
+        return kernels_jit.segment_min_block_fn(cols, indptr, width)
     m = indptr.size - 1
     table = _padded_table(cols, indptr, width)
     if table is not None:
@@ -284,12 +313,18 @@ def segment_min_block_fn(cols: np.ndarray, indptr: np.ndarray, width: int):
     return f_scatter
 
 
-def segment_any_block_fn(cols: np.ndarray, indptr: np.ndarray, width: int):
+def segment_any_block_fn(
+    cols: np.ndarray, indptr: np.ndarray, width: int, *, backend: str | None = None
+):
     """Build ``f(mask) -> (S, M)`` bool: per-segment OR of ``mask[:, cols]``.
 
     Same construction/trade-offs as :func:`segment_min_block_fn`; empty
     segments yield False.
     """
+    if resolve_backend(backend) == "jit":
+        from . import kernels_jit
+
+        return kernels_jit.segment_any_block_fn(cols, indptr, width)
     m = indptr.size - 1
     table = _padded_table(cols, indptr, width)
     if table is not None:

@@ -8,6 +8,7 @@ Actions (wired into :mod:`repro.__main__`)::
     repro trace diff       a.jsonl b.jsonl
     repro trace export     t.jsonl --out t.perfetto.json
     repro trace conformance --problem mis --model simulated [--symbolic]
+    repro trace conformance --all      # every registry entry, exit 1 on FAIL
 
 ``record`` runs one solve under :func:`~repro.obs.trace.trace_capture`
 (so it works without setting ``REPRO_TRACE``); the other actions are pure
@@ -125,8 +126,49 @@ def _export(args) -> int:
     return 0
 
 
+def _conformance_all(args, sizes) -> int:
+    reports = _conf.conformance_matrix(
+        sizes=sizes,
+        avg_deg=args.avg_deg,
+        seed=args.seed,
+        reps=args.reps,
+        symbolic=args.symbolic,
+    )
+    if args.json:
+        _emit_json(args.json, {"reports": reports})
+        return 1 if any(r["conformant"] is False for r in reports) else 0
+    scope = "totals + per-phase charge streams" if args.symbolic else "totals"
+    print(f"conformance matrix: {len(reports)} registry entries ({scope})")
+    width = max(len(f"{r['problem']}/{r['model']}") for r in reports)
+    failed = 0
+    for r in reports:
+        name = f"{r['problem']}/{r['model']}"
+        decided = [f for f in r["fits"] if f.get("ok") is not None]
+        if r["conformant"] is None:
+            verdict, detail = "----", "no decidable claims"
+        elif r["conformant"]:
+            verdict = "pass"
+            detail = f"{len(decided)} claim(s) checked"
+        else:
+            verdict, failed = "FAIL", failed + 1
+            bad = [
+                f"{f['category'] or 'total'}:{f['metric']}"
+                for f in decided
+                if not f["ok"]
+            ]
+            detail = "violated: " + ", ".join(bad)
+        print(f"  [{verdict}] {name:<{width}}  {detail}")
+    if failed:
+        print(f"{failed} entrie(s) violate declared claims")
+        return 1
+    print("all decidable claims conform")
+    return 0
+
+
 def _conformance(args) -> int:
     sizes = [int(s) for s in args.sizes.split(",")] if args.sizes else None
+    if args.all:
+        return _conformance_all(args, sizes)
     report = _conf.conformance_report(
         args.problem,
         args.model,
@@ -217,6 +259,10 @@ def add_trace_parser(sub) -> None:
     )
     cf.add_argument("--problem", type=str, default="mis")
     cf.add_argument("--model", type=str, default="simulated")
+    cf.add_argument("--all", action="store_true",
+                    help="sweep every registry entry (the full problem x "
+                         "model matrix); exit 1 if any entry violates a "
+                         "declared claim")
     cf.add_argument("--sizes", type=str, default=None,
                     help="comma-separated n values (default 64,128,256,512)")
     cf.add_argument("--avg-deg", type=float, default=6.0)

@@ -36,6 +36,7 @@ __all__ = [
     "NRMSE_THRESHOLD",
     "R2_THRESHOLD",
     "SHAPES",
+    "conformance_matrix",
     "conformance_report",
     "evaluate_entry",
     "fit_shape",
@@ -326,3 +327,35 @@ def conformance_report(
         "rows": rows,
         **evaluate_entry(entry, rows, symbolic=symbolic),
     }
+
+
+def conformance_matrix(
+    *,
+    sizes: list[int] | None = None,
+    avg_deg: float = 6.0,
+    seed: int = 7,
+    reps: int = 3,
+    symbolic: bool = False,
+) -> list[dict]:
+    """:func:`conformance_report` for *every* registry entry.
+
+    One report per ``(problem, model)`` pair in stable registry order —
+    the full claims matrix, so one invocation answers "does anything we
+    ship violate a cost claim".  A report's ``conformant`` stays ``None``
+    for entries with nothing decidable (no claims declared); callers that
+    gate (the CLI's ``--all``) fail only on an explicit ``False``.
+    """
+    from ..api import REGISTRY
+
+    return [
+        conformance_report(
+            entry.problem,
+            entry.model,
+            sizes=sizes,
+            avg_deg=avg_deg,
+            seed=seed,
+            reps=reps,
+            symbolic=symbolic,
+        )
+        for entry in REGISTRY.entries()
+    ]

@@ -206,6 +206,37 @@ def test_trace_conformance_cli(capsys):
     assert "rounds" in out and "words_moved" in out
 
 
+def test_trace_conformance_all_cli(capsys):
+    """--all sweeps the full registry matrix and exits 0 when claims hold."""
+    from repro.api import REGISTRY
+
+    rc = main(
+        ["trace", "conformance", "--all", "--sizes", "32,64", "--reps", "1"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert f"{len(REGISTRY.entries())} registry entries" in out
+    for entry in REGISTRY.entries():
+        assert f"{entry.problem}/{entry.model}" in out
+    assert "FAIL" not in out
+
+
+def test_trace_conformance_all_json(tmp_path, capsys):
+    rc = main(
+        [
+            "trace", "conformance", "--all",
+            "--sizes", "32,64", "--reps", "1", "--json", "-",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    payload = json.loads(out[out.index("{"):])
+    from repro.api import REGISTRY
+
+    assert len(payload["reports"]) == len(REGISTRY.entries())
+    assert all(r["conformant"] is not False for r in payload["reports"])
+
+
 def test_solve_json_stdout(capsys):
     rc = main(
         [
