@@ -11,6 +11,7 @@ Commands
 ``demo``       run on a generated G(n, p) without needing an input file
 ``crossmodel`` bill one input under MPC / CONGESTED CLIQUE / CONGEST
 ``batch``      run a named workload suite through the parallel runtime
+``serve``      run the always-on solver service (HTTP or stdio JSON lines)
 ``cache``      inspect / clear the content-addressed result cache
 ``store``      inspect / verify / gc the out-of-core graph store
 ``trace``      record / summarize / diff / export traces, check conformance
@@ -30,6 +31,8 @@ Examples::
     python -m repro crossmodel --n 300 --p 0.03 --problem mis
     python -m repro batch --suite cross-model --workers 4
     python -m repro batch --suite large-sweep --store-dir /tmp/graphs --workers 4
+    python -m repro serve --port 8750 --workers 2
+    python -m repro serve --demo
     python -m repro cache stats
     python -m repro store stats --store-dir /tmp/graphs
     python -m repro trace record --problem mis --model mpc-engine --out t.jsonl
@@ -552,8 +555,10 @@ def build_parser() -> argparse.ArgumentParser:
     docs.set_defaults(fn=cmd_docs)
 
     from .obs.cli import add_trace_parser
+    from .serve.cli import add_serve_parser
 
     add_trace_parser(sub)
+    add_serve_parser(sub)
 
     return parser
 

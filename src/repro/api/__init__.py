@@ -37,7 +37,7 @@ from ..graphs.kernels import kernel_backend_scope
 from ..obs import METRICS
 from ..obs import trace as _trace
 from .config import ExecutionConfig
-from .envelope import MODELS, PROBLEMS, SolveRequest, SolveResult
+from .envelope import MODELS, PROBLEMS, SolveRequest, SolveResult, request_digest
 from .registry import (
     REGISTRY,
     SolverCapabilities,
@@ -58,6 +58,7 @@ __all__ = [
     "SolverEntry",
     "SolverRegistry",
     "register_solver",
+    "request_digest",
     "solve",
 ]
 

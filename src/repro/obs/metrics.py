@@ -78,6 +78,41 @@ class MetricsRegistry:
                     out[f"{name}.mean"] = h["sum"] / h["count"]
             return out
 
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of the whole registry.
+
+        Dotted names flatten to underscores (``serve.requests`` →
+        ``serve_requests``); histograms export as Prometheus summaries
+        (``_count`` / ``_sum``) plus ``_min`` / ``_max`` gauges.  This is
+        what the serve layer's ``/metrics`` endpoint returns — one
+        scrapeable view over every counter the solvers, runtime, and
+        service increment.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            hists = {name: dict(h) for name, h in self._hists.items()}
+        lines: list[str] = []
+
+        def flat(name: str) -> str:
+            return name.replace(".", "_").replace("-", "_")
+
+        for name in sorted(counters):
+            lines.append(f"# TYPE {flat(name)} counter")
+            lines.append(f"{flat(name)} {counters[name]:g}")
+        for name in sorted(gauges):
+            lines.append(f"# TYPE {flat(name)} gauge")
+            lines.append(f"{flat(name)} {gauges[name]:g}")
+        for name in sorted(hists):
+            h = hists[name]
+            base = flat(name)
+            lines.append(f"# TYPE {base} summary")
+            lines.append(f"{base}_count {h['count']:g}")
+            lines.append(f"{base}_sum {h['sum']:g}")
+            lines.append(f"{base}_min {h['min']:g}")
+            lines.append(f"{base}_max {h['max']:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
     def counters_snapshot(self) -> dict[str, float]:
         """Just the counters, for before/after deltas around a solve."""
         with self._lock:

@@ -8,18 +8,33 @@ Layout under ``cache_dir``::
     objects/<key>.npz     solution arrays
 
 The key is ``sha256(graph_fingerprint : solve_digest)`` (see
-:meth:`~repro.runtime.spec.JobSpec.cache_key`), so identical inputs solved
+:meth:`~repro.runtime.spec.JobSpec.cache_key`, built on
+:func:`repro.api.envelope.request_digest`), so identical inputs solved
 with identical parameters hit the same entry no matter how the graph was
 produced or which process stored it.  The JSONL log is replayed on open to
 rebuild LRU order; it is compacted when it grows far past the live entry
-count.  Single-writer semantics: concurrent processes may *read* a cache
-directory safely, but only one scheduler should write to it at a time.
+count.
+
+Concurrency: the serve layer makes concurrent access the norm, so the
+cache is safe under it by construction rather than by convention.  All
+object writes are atomic renames (``.json.tmp`` / ``.npz.tmp`` →
+``os.replace``), so a reader never observes a half-written object; reads
+are *tolerant* — a torn or foreign meta file counts as a miss instead of
+raising — and the in-process state is guarded by an ``RLock`` so one
+``ResultCache`` instance can be shared across threads (the service's
+batcher thread and its event loop).  Cross-process, any number of readers
+are safe alongside writers; multiple writers degrade gracefully
+(last-put-wins on identical content-addressed keys, torn index lines are
+skipped on replay), though routing writes through one scheduler per
+directory — what the serve layer's micro-batcher does — keeps the LRU log
+tight.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -114,11 +129,13 @@ class ResultCache:
         self.index_path = self.dir / "index.jsonl"
         self.max_entries = max_entries
         self.stats = CacheStats()
+        self._lock = threading.RLock()
         self._lru: OrderedDict[str, float] = OrderedDict()  # key -> stored-at
         self._ops_replayed = 0
         self.objects_dir.mkdir(parents=True, exist_ok=True)
         self._replay()
-        self._maybe_compact()
+        with self._lock:
+            self._maybe_compact()
 
     # ------------------------------------------------------------------ #
     # Index log
@@ -187,23 +204,39 @@ class ResultCache:
         return len(self._lru)
 
     def get(self, key: str) -> CacheEntry | None:
-        """Look up a key; counts a hit/miss and refreshes LRU position."""
-        meta_path = self._meta_path(key)
-        if key not in self._lru or not meta_path.exists():
-            self.stats.misses += 1
-            return None
-        with meta_path.open() as fh:
-            stored = json.load(fh)
-        self._lru.move_to_end(key)
-        self._append({"op": "touch", "key": key})
-        self._maybe_compact()  # all-warm workloads never put(); bound the log
-        self.stats.hits += 1
-        return CacheEntry(
-            key=key,
-            job=stored["job"],
-            result_meta=stored.get("result_meta"),
-            npz_path=self._npz_path(key),
-        )
+        """Look up a key; counts a hit/miss and refreshes LRU position.
+
+        Tolerant by contract: a vanished, torn, or foreign object file is a
+        *miss* (and the key is dropped from the in-process LRU), never an
+        exception — concurrent writers and crash debris must not take a
+        serving process down.
+        """
+        with self._lock:
+            meta_path = self._meta_path(key)
+            if key not in self._lru or not meta_path.exists():
+                self.stats.misses += 1
+                return None
+            try:
+                with meta_path.open() as fh:
+                    stored = json.load(fh)
+                job = stored["job"]
+            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                # Torn entry (crash mid-write predating atomic renames,
+                # out-of-band tampering): treat as a miss and forget it.
+                self._lru.pop(key, None)
+                self.stats.entries = len(self._lru)
+                self.stats.misses += 1
+                return None
+            self._lru.move_to_end(key)
+            self._append({"op": "touch", "key": key})
+            self._maybe_compact()  # all-warm workloads never put(); bound the log
+            self.stats.hits += 1
+            return CacheEntry(
+                key=key,
+                job=job,
+                result_meta=stored.get("result_meta"),
+                npz_path=self._npz_path(key),
+            )
 
     def put(
         self,
@@ -212,23 +245,31 @@ class ResultCache:
         arrays: dict[str, np.ndarray],
         result_meta: dict | None = None,
     ) -> None:
-        """Store a finished solve under ``key`` (idempotent overwrite)."""
-        stored = {"key": key, "job": job, "result_meta": result_meta}
-        npz_path = self._npz_path(key)
-        with npz_path.open("wb") as fh:
-            np.savez_compressed(fh, **arrays)
-        tmp = self._meta_path(key).with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(stored, sort_keys=True))
-        tmp.replace(self._meta_path(key))
-        at = time.time()
-        self._lru[key] = at
-        self._lru.move_to_end(key)
-        self._append({"op": "put", "key": key, "at": at})
-        self.stats.stores += 1
-        self.stats.entries = len(self._lru)
-        while len(self._lru) > self.max_entries:
-            self._evict_one()
-        self._maybe_compact()
+        """Store a finished solve under ``key`` (idempotent overwrite).
+
+        Both object files land via atomic rename — npz first, meta second —
+        so a concurrent reader either sees the complete entry or (from the
+        meta's absence) a clean miss, never a torn one.
+        """
+        with self._lock:
+            stored = {"key": key, "job": job, "result_meta": result_meta}
+            npz_path = self._npz_path(key)
+            npz_tmp = npz_path.with_suffix(".npz.tmp")
+            with npz_tmp.open("wb") as fh:
+                np.savez_compressed(fh, **arrays)
+            npz_tmp.replace(npz_path)
+            tmp = self._meta_path(key).with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(stored, sort_keys=True))
+            tmp.replace(self._meta_path(key))
+            at = time.time()
+            self._lru[key] = at
+            self._lru.move_to_end(key)
+            self._append({"op": "put", "key": key, "at": at})
+            self.stats.stores += 1
+            self.stats.entries = len(self._lru)
+            while len(self._lru) > self.max_entries:
+                self._evict_one()
+            self._maybe_compact()
 
     def _evict_one(self) -> None:
         victim, _ = self._lru.popitem(last=False)  # least recently used
@@ -240,15 +281,16 @@ class ResultCache:
 
     def clear(self) -> int:
         """Remove every entry; returns how many were dropped."""
-        dropped = len(self._lru)
-        for key in list(self._lru):
-            self._meta_path(key).unlink(missing_ok=True)
-            self._npz_path(key).unlink(missing_ok=True)
-        self._lru.clear()
-        self.index_path.unlink(missing_ok=True)
-        self._ops_replayed = 0
-        self.stats.entries = 0
-        return dropped
+        with self._lock:
+            dropped = len(self._lru)
+            for key in list(self._lru):
+                self._meta_path(key).unlink(missing_ok=True)
+                self._npz_path(key).unlink(missing_ok=True)
+            self._lru.clear()
+            self.index_path.unlink(missing_ok=True)
+            self._ops_replayed = 0
+            self.stats.entries = 0
+            return dropped
 
     def disk_usage(self) -> int:
         """Total bytes of stored objects + index."""
@@ -256,13 +298,17 @@ class ResultCache:
         if self.index_path.exists():
             total += self.index_path.stat().st_size
         for p in self.objects_dir.iterdir():
-            total += p.stat().st_size
+            try:
+                total += p.stat().st_size
+            except OSError:
+                continue  # concurrently evicted by another process
         self.stats.disk_bytes = total
         return total
 
     def keys(self) -> list[str]:
         """Keys in LRU order (oldest first)."""
-        return list(self._lru)
+        with self._lock:
+            return list(self._lru)
 
     def __repr__(self) -> str:
         return (

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -38,7 +38,7 @@ from ..obs import trace as _obs
 from ..obs.metrics import METRICS
 from .cache import ResultCache
 from .spec import ENGINE_PROBLEMS, GraphSource, JobResult, JobSpec
-from .worker import run_job
+from .worker import run_job, warm_worker
 
 __all__ = ["BatchResult", "BatchStats", "ResolvedSource", "Scheduler"]
 
@@ -194,6 +194,14 @@ class Scheduler:
         (unset = npz shipping, the historical path).  When active, distinct
         sources resolve to on-disk CSR shards once and every job ships a
         store key instead of a pickled buffer.
+    persistent:
+        ``True`` keeps one ``ProcessPoolExecutor`` alive across ``run``
+        calls instead of forking a fresh pool per batch — the always-on
+        service mode, where ``run`` is called once per micro-batch and
+        per-call pool startup would dominate small batches.  Call
+        :meth:`close` (or use the scheduler as a context manager) to shut
+        the pool down; a pool broken by a hard worker crash is discarded
+        and replaced on the next batch.
     """
 
     def __init__(
@@ -205,6 +213,7 @@ class Scheduler:
         cache: ResultCache | None = None,
         trace: bool | None = None,
         store: GraphStore | str | Path | None = None,
+        persistent: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -220,6 +229,51 @@ class Scheduler:
         if store is not None and not isinstance(store, GraphStore):
             store = GraphStore(store)
         self.store = store
+        self.persistent = persistent
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _acquire_pool(self) -> tuple[ProcessPoolExecutor, bool]:
+        """``(pool, owned)`` — owned pools are shut down after the batch."""
+        if not self.persistent:
+            return ProcessPoolExecutor(max_workers=self.workers), True
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool, False
+
+    def _discard_broken_pool(self, pool: ProcessPoolExecutor) -> None:
+        if self.persistent and self._pool is pool:
+            self._pool = None
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def warm_up(self) -> None:
+        """Pre-fork a persistent pool's workers (no-op otherwise).
+
+        The serve layer calls this at startup: forking happens while the
+        parent is still thread-light (before the event loop spawns
+        executor threads) and worker import cost is paid before the first
+        request instead of inside it.
+        """
+        if not self.persistent:
+            return
+        pool, _ = self._acquire_pool()
+        for fut in [pool.submit(warm_worker) for _ in range(self.workers)]:
+            fut.result()
+
+    def close(self) -> None:
+        """Shut down a persistent pool (no-op otherwise / when already closed)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Input resolution
@@ -392,7 +446,9 @@ class Scheduler:
             METRICS.inc("runtime.bytes_shipped", shipped)
             return payload
 
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+        pool, owned = self._acquire_pool()
+        broken = False
+        try:
             queue = list(pending)
             while queue:
                 futures = {}
@@ -401,6 +457,7 @@ class Scheduler:
                     try:
                         futures[pool.submit(run_job, make_payload(idx))] = idx
                     except Exception as exc:  # pool already broken
+                        broken = broken or isinstance(exc, BrokenExecutor)
                         submit_failed.append((idx, exc))
                 queue = []
                 for idx, exc in submit_failed:
@@ -420,6 +477,7 @@ class Scheduler:
                     except Exception as exc:
                         # Worker died without returning (e.g. hard crash,
                         # unpicklable payload): structured failure, pool-level.
+                        broken = broken or isinstance(exc, BrokenExecutor)
                         out = {
                             "status": "error",
                             "error_type": type(exc).__name__,
@@ -449,6 +507,13 @@ class Scheduler:
                     )
                     if out.get("status") == "ok" and self.cache is not None:
                         self._store(keys[idx], results[idx], out)
+        finally:
+            if owned:
+                pool.shutdown(wait=True)
+            elif broken:
+                # A hard worker crash poisons the whole executor; drop it so
+                # the next batch on this persistent scheduler forks fresh.
+                self._discard_broken_pool(pool)
 
     def _store(self, key: str, result: JobResult, out: dict) -> None:
         job = result.to_dict()

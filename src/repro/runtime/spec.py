@@ -24,6 +24,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field, fields, replace
 
+from ..api.envelope import request_digest
 from ..api.registry import REGISTRY
 from ..graphs import generators as _generators
 from ..graphs.graph import Graph
@@ -250,16 +251,12 @@ class JobSpec:
 
         Excludes the graph source and tag: the input's identity enters the
         cache key through the resolved graph's content fingerprint instead.
+        Delegates to :func:`repro.api.envelope.request_digest` — the shared
+        helper the serve-layer coalescer keys on too — and stays
+        byte-identical to the historical inline digest, so existing
+        on-disk caches keep their addresses.
         """
-        return _digest(
-            {
-                "problem": self.problem,
-                "eps": self.eps,
-                "force": self.force,
-                "paper_rule": self.paper_rule,
-                "overrides": {k: v for k, v in self.overrides},
-            }
-        )
+        return request_digest(self)
 
     def digest(self) -> str:
         """Digest of the full spec (including source and tag)."""

@@ -46,7 +46,24 @@ from ..obs import trace as _obs
 from ..obs.metrics import METRICS
 from .spec import ENGINE_PROBLEMS, JobSpec, runtime_entry
 
-__all__ = ["execute_spec", "load_job_graph", "payload_from_solve_result", "run_job"]
+__all__ = [
+    "execute_spec",
+    "load_job_graph",
+    "payload_from_solve_result",
+    "run_job",
+    "warm_worker",
+]
+
+
+def warm_worker() -> int:
+    """Pool warm-up target: importing this module is the work.
+
+    Submitted once per worker by :meth:`Scheduler.warm_up` so a
+    persistent pool forks (and pays the interpreter + numpy import cost)
+    at service startup — from a still thread-light parent — instead of on
+    the first request.  Returns the worker pid for log-friendliness.
+    """
+    return os.getpid()
 
 
 class JobTimeout(Exception):

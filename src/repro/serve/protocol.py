@@ -1,0 +1,205 @@
+"""Wire format of the solver service (shared by HTTP and stdio).
+
+One request is one JSON object — the same shape whether it arrives as an
+HTTP ``POST /solve`` body or as a JSON line on stdin::
+
+    {
+      "problem": "mis",                  # runtime job name, or problem+model
+      "model": "cclique",                # optional; folds into the job name
+      "source": {"kind": "generator",    # a runtime GraphSource dict
+                 "name": "gnp_random_graph",
+                 "args": {"n": 300, "p": 0.03, "seed": 0}},
+      "eps": 0.5, "force": null, "paper_rule": false,
+      "overrides": {}, "tag": "",
+      "timeout": 30.0,                   # optional per-request budget (s)
+      "include_solution": false,         # ship the solution array back
+      "id": "r-17"                       # optional correlation id (echoed)
+    }
+
+The body deliberately *is* a :class:`~repro.runtime.spec.JobSpec` plus
+transport extras: specs are already hashable, JSON-round-trippable solve
+descriptions, the batch runtime executes them unchanged, and their digest
+(:func:`repro.api.envelope.request_digest`) is the params half of both the
+result-cache key and the coalescer key — so "same request" means the same
+thing on the wire, in flight, and on disk.
+
+Responses are JSON objects too: ``ok`` / ``status`` / ``coalesced`` /
+``cache_hit`` plus the full :class:`~repro.runtime.spec.JobResult` dict
+under ``result`` (structured solver failures ride back with HTTP 200 — the
+*transport* succeeded; 4xx/5xx are reserved for protocol errors and
+admission control).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..api.envelope import request_digest
+from ..runtime.spec import JobResult, JobSpec, runtime_problem_name
+
+__all__ = [
+    "ProtocolError",
+    "ServeJob",
+    "coalesce_key",
+    "error_payload",
+    "parse_solve",
+    "solve_payload",
+]
+
+#: Top-level keys a solve request may carry; anything else is rejected so
+#: a typo ("overides") fails loudly instead of silently solving defaults.
+_SOLVE_KEYS = frozenset(
+    {
+        "op",
+        "id",
+        "problem",
+        "model",
+        "source",
+        "eps",
+        "force",
+        "paper_rule",
+        "overrides",
+        "tag",
+        "timeout",
+        "include_solution",
+    }
+)
+
+
+class ProtocolError(ValueError):
+    """A malformed request; ``code`` is the HTTP status it maps to."""
+
+    def __init__(self, message: str, code: int = 400) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServeJob:
+    """One parsed solve request: the spec plus its transport extras."""
+
+    __slots__ = ("spec", "timeout", "include_solution", "request_id")
+
+    def __init__(
+        self,
+        spec: JobSpec,
+        *,
+        timeout: float | None = None,
+        include_solution: bool = False,
+        request_id: str | None = None,
+    ) -> None:
+        self.spec = spec
+        self.timeout = timeout
+        self.include_solution = include_solution
+        self.request_id = request_id
+
+
+def parse_solve(obj: object) -> ServeJob:
+    """Validate one wire object into a :class:`ServeJob` (or raise 400)."""
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"request must be a JSON object, got {type(obj).__name__}")
+    unknown = set(obj) - _SOLVE_KEYS
+    if unknown:
+        raise ProtocolError(f"unknown request keys: {sorted(unknown)}")
+    problem = obj.get("problem")
+    if not isinstance(problem, str) or not problem:
+        raise ProtocolError("request needs a 'problem' string")
+    model = obj.get("model")
+    if model is not None:
+        if not isinstance(model, str):
+            raise ProtocolError("'model' must be a string")
+        try:
+            problem = runtime_problem_name(problem, model)
+        except KeyError as exc:
+            raise ProtocolError(str(exc)) from None
+    source = obj.get("source")
+    if not isinstance(source, dict):
+        raise ProtocolError("request needs a 'source' object (GraphSource dict)")
+    timeout = obj.get("timeout")
+    if timeout is not None:
+        if not isinstance(timeout, (int, float)) or isinstance(timeout, bool):
+            raise ProtocolError("'timeout' must be a number of seconds")
+        if timeout <= 0:
+            raise ProtocolError("'timeout' must be positive")
+        timeout = float(timeout)
+    request_id = obj.get("id")
+    if request_id is not None and not isinstance(request_id, (str, int)):
+        raise ProtocolError("'id' must be a string or integer")
+    try:
+        spec = JobSpec.from_dict(
+            {
+                "problem": problem,
+                "source": source,
+                "eps": obj.get("eps", 0.5),
+                "force": obj.get("force"),
+                "paper_rule": obj.get("paper_rule", False),
+                "overrides": obj.get("overrides", {}),
+                "tag": str(obj.get("tag", "")),
+            }
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid solve request: {exc}") from None
+    return ServeJob(
+        spec,
+        timeout=timeout,
+        include_solution=bool(obj.get("include_solution", False)),
+        request_id=request_id,
+    )
+
+
+def coalesce_key(spec: JobSpec) -> str:
+    """In-flight identity: source identity x answer digest.
+
+    The params half is :func:`~repro.api.envelope.request_digest` — the
+    same digest the result-cache key uses — so two requests coalesce
+    exactly when they would share a cache entry.  The input half is the
+    *source description* (canonical JSON of the GraphSource) rather than
+    the resolved graph fingerprint: coalescing must be decided before
+    anything is built, and identical descriptions are guaranteed identical
+    graphs (the generators are deterministic).  Distinct descriptions of
+    the same graph miss the coalescer but still meet in the
+    content-addressed cache, which keys on the resolved fingerprint.
+    """
+    src = json.dumps(spec.source.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(f"{src}:{request_digest(spec)}".encode()).hexdigest()
+
+
+def solve_payload(
+    result: JobResult,
+    *,
+    coalesced: bool,
+    request_id: str | int | None = None,
+    solution: list | None = None,
+) -> dict:
+    """The wire response for a completed (ok or structurally failed) job."""
+    payload = {
+        "ok": result.ok,
+        "status": result.status,
+        "coalesced": coalesced,
+        "cache_hit": result.cache_hit,
+        "result": result.to_dict(),
+    }
+    if request_id is not None:
+        payload["id"] = request_id
+    if solution is not None:
+        payload["solution"] = solution
+    return payload
+
+
+def error_payload(
+    code: int,
+    error_type: str,
+    message: str,
+    *,
+    request_id: str | int | None = None,
+    **extra,
+) -> dict:
+    """The wire response for protocol errors and admission rejections."""
+    payload = {
+        "ok": False,
+        "code": code,
+        "error": {"type": error_type, "message": message, **extra},
+    }
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload

@@ -1,0 +1,454 @@
+"""repro.serve: coalescing, micro-batching, backpressure, drain, transports.
+
+The service-logic tests run against a fake scheduler (deterministic, no
+process pool) so they can assert scheduler-level facts — "K identical
+concurrent requests produced exactly one scheduler job" — without timing
+flakiness.  Two end-to-end tests then run the real thing: one over HTTP
+against a live ``asyncio.start_server`` socket, one over the stdio
+JSON-lines transport in a subprocess.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.runtime.scheduler import BatchResult, BatchStats
+from repro.runtime.spec import JobResult, JobSpec
+from repro.serve import (
+    Coalescer,
+    MicroBatcher,
+    ProtocolError,
+    SolverService,
+    coalesce_key,
+    parse_solve,
+)
+
+from test_runtime_spec import subprocess_env
+
+
+def solve_body(seed: int = 0, n: int = 40, **extra) -> dict:
+    body = {
+        "problem": "mis",
+        "model": "cclique",
+        "source": {
+            "kind": "generator",
+            "name": "gnp_random_graph",
+            "args": {"n": n, "p": 0.1, "seed": seed},
+        },
+    }
+    body.update(extra)
+    return body
+
+
+class FakeScheduler:
+    """Scheduler stand-in: records every batch, sleeps, answers ok."""
+
+    def __init__(self, delay: float = 0.05, fail: bool = False) -> None:
+        self.workers = 1
+        self.cache = None
+        self.persistent = True
+        self.delay = delay
+        self.fail = fail
+        self.calls: list[list[JobSpec]] = []
+        self.closed = False
+
+    def warm_up(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self.closed = True
+
+    def run(self, specs: list[JobSpec]) -> BatchResult:
+        self.calls.append(list(specs))
+        time.sleep(self.delay)
+        if self.fail:
+            raise RuntimeError("scheduler exploded")
+        results = [
+            JobResult(
+                spec=s,
+                status="ok",
+                solution_size=7,
+                fingerprint="f" * 64,
+                graph_n=40,
+                graph_m=80,
+            )
+            for s in specs
+        ]
+        return BatchResult(
+            results=results, stats=BatchStats(total=len(specs), ok=len(specs))
+        )
+
+    @property
+    def jobs_run(self) -> int:
+        return sum(len(batch) for batch in self.calls)
+
+
+def make_service(sched: FakeScheduler, **kw) -> SolverService:
+    kw.setdefault("batch_delay", 0.02)
+    return SolverService(scheduler=sched, **kw)
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+# ---------------------------------------------------------------------- #
+# Protocol
+# ---------------------------------------------------------------------- #
+
+
+def test_parse_solve_round_trip():
+    job = parse_solve(solve_body(seed=3, timeout=2.5, id="r-1"))
+    assert job.spec.problem == "cc_mis"  # model folded into the job name
+    assert job.spec.source.name == "gnp_random_graph"
+    assert job.timeout == 2.5
+    assert job.request_id == "r-1"
+    assert not job.include_solution
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        {"problem": "mis"},  # no source
+        solve_body(typo=1),  # unknown key
+        solve_body(timeout=-1),  # bad timeout
+        dict(solve_body(), model="no-such-model"),
+        "not an object",
+        {"problem": "", "source": {}},
+    ],
+)
+def test_parse_solve_rejects(body):
+    with pytest.raises(ProtocolError):
+        parse_solve(body)
+
+
+def test_coalesce_key_semantics():
+    a = parse_solve(solve_body(seed=1)).spec
+    b = parse_solve(solve_body(seed=1)).spec
+    c = parse_solve(solve_body(seed=2)).spec
+    d = parse_solve(solve_body(seed=1, eps=0.7)).spec
+    assert coalesce_key(a) == coalesce_key(b)
+    assert coalesce_key(a) != coalesce_key(c)  # different input
+    assert coalesce_key(a) != coalesce_key(d)  # different params
+
+
+# ---------------------------------------------------------------------- #
+# Coalescer
+# ---------------------------------------------------------------------- #
+
+
+def test_coalescer_leader_then_followers_then_release():
+    async def scenario():
+        co = Coalescer()
+        fut, leader = co.admit("k")
+        assert leader
+        fut2, leader2 = co.admit("k")
+        assert not leader2 and fut2 is fut
+        fut.set_result(42)
+        co.finish("k")
+        fut3, leader3 = co.admit("k")  # in-flight dedup, not a cache
+        assert leader3 and fut3 is not fut
+        fut3.set_result(0)
+        assert co.stats.leaders == 2 and co.stats.followers == 1
+
+    run_async(scenario())
+
+
+# ---------------------------------------------------------------------- #
+# Coalescing + micro-batching through the service
+# ---------------------------------------------------------------------- #
+
+
+def test_identical_concurrent_requests_one_scheduler_job():
+    sched = FakeScheduler(delay=0.2)
+
+    async def scenario():
+        svc = make_service(sched)
+        await svc.start()
+        replies = await asyncio.gather(
+            *(svc.handle(solve_body(seed=5)) for _ in range(6))
+        )
+        await svc.drain()
+        return replies
+
+    replies = run_async(scenario())
+    assert [code for code, _ in replies] == [200] * 6
+    assert all(p["ok"] and p["status"] == "ok" for _, p in replies)
+    # The acceptance claim: 6 identical concurrent requests, ONE job.
+    assert sched.jobs_run == 1
+    assert sum(1 for _, p in replies if p["coalesced"]) == 5
+
+
+def test_distinct_requests_micro_batch_together():
+    sched = FakeScheduler(delay=0.05)
+
+    async def scenario():
+        svc = make_service(sched, batch_delay=0.3)
+        await svc.start()
+        replies = await asyncio.gather(
+            *(svc.handle(solve_body(seed=s)) for s in range(4))
+        )
+        await svc.drain()
+        return replies
+
+    replies = run_async(scenario())
+    assert all(code == 200 for code, _ in replies)
+    assert sched.jobs_run == 4
+    assert len(sched.calls) == 1  # one deadline-flushed batch, not 4 pools
+    assert not any(p["coalesced"] for _, p in replies)  # distinct keys
+
+
+def test_batch_failure_propagates_to_all_waiters():
+    sched = FakeScheduler(fail=True)
+
+    async def scenario():
+        svc = make_service(sched)
+        await svc.start()
+        replies = await asyncio.gather(
+            *(svc.handle(solve_body(seed=s)) for s in range(3))
+        )
+        svc._draining = True  # the batcher consumer died with the batch;
+        await svc.drain()  # drain without resubmitting
+        return replies
+
+    replies = run_async(scenario())
+    assert [code for code, _ in replies] == [500] * 3
+    assert all(p["error"]["type"] == "RuntimeError" for _, p in replies)
+
+
+# ---------------------------------------------------------------------- #
+# Admission control + drain
+# ---------------------------------------------------------------------- #
+
+
+def test_backpressure_rejects_beyond_max_inflight():
+    sched = FakeScheduler(delay=0.3)
+
+    async def scenario():
+        svc = make_service(sched, max_inflight=2)
+        await svc.start()
+        replies = await asyncio.gather(
+            *(svc.handle(solve_body(seed=s)) for s in range(6))
+        )
+        await svc.drain()
+        return replies, svc
+
+    replies, svc = run_async(scenario())
+    codes = sorted(code for code, _ in replies)
+    assert codes == [200, 200, 503, 503, 503, 503]
+    rejected = [p for code, p in replies if code == 503]
+    assert all(p["error"]["type"] == "QueueFull" for p in rejected)
+    assert all("retry_after_s" in p["error"] for p in rejected)
+    assert svc.rejected == 4 and svc.requests == 6
+
+
+def test_reject_code_429():
+    sched = FakeScheduler(delay=0.3)
+
+    async def scenario():
+        svc = make_service(sched, max_inflight=1, reject_code=429)
+        await svc.start()
+        replies = await asyncio.gather(
+            *(svc.handle(solve_body(seed=s)) for s in range(2))
+        )
+        await svc.drain()
+        return replies
+
+    codes = sorted(code for code, _ in run_async(scenario()))
+    assert codes == [200, 429]
+
+
+def test_graceful_drain_completes_inflight_then_refuses():
+    sched = FakeScheduler(delay=0.25)
+
+    async def scenario():
+        svc = make_service(sched)
+        await svc.start()
+        inflight = [
+            asyncio.ensure_future(svc.handle(solve_body(seed=s)))
+            for s in range(2)
+        ]
+        await asyncio.sleep(0.05)  # admitted, still solving
+        completed = await svc.drain(timeout=10)
+        late_code, late = await svc.handle(solve_body(seed=9))
+        return completed, [t.result() for t in inflight], late_code, late
+
+    completed, replies, late_code, late = run_async(scenario())
+    assert completed
+    assert all(code == 200 and p["ok"] for code, p in replies)  # finished
+    assert late_code == 503 and late["error"]["type"] == "Draining"
+    assert sched.closed  # worker pool released
+
+
+def test_per_request_timeout_504():
+    sched = FakeScheduler(delay=0.4)
+
+    async def scenario():
+        svc = make_service(sched)
+        await svc.start()
+        code, payload = await svc.handle(solve_body(seed=1, timeout=0.05))
+        await svc.drain()
+        return code, payload
+
+    code, payload = run_async(scenario())
+    assert code == 504
+    assert payload["error"]["type"] == "RequestTimeout"
+
+
+def test_protocol_error_is_400_and_does_not_occupy_a_slot():
+    sched = FakeScheduler()
+
+    async def scenario():
+        svc = make_service(sched, max_inflight=1)
+        await svc.start()
+        code, payload = await svc.handle(solve_body(bogus_key=1))
+        health = svc.healthz()
+        await svc.drain()
+        return code, payload, health
+
+    code, payload, health = run_async(scenario())
+    assert code == 400 and payload["error"]["type"] == "ProtocolError"
+    assert health["active"] == 0
+    assert sched.jobs_run == 0
+
+
+def test_batcher_rejects_after_drain():
+    sched = FakeScheduler()
+
+    async def scenario():
+        batcher = MicroBatcher(sched, max_delay=0.01)
+        batcher.start()
+        spec = parse_solve(solve_body()).spec
+        await batcher.submit(spec)
+        await batcher.drain()
+        with pytest.raises(RuntimeError):
+            await batcher.submit(spec)
+
+    run_async(scenario())
+
+
+# ---------------------------------------------------------------------- #
+# End to end: HTTP
+# ---------------------------------------------------------------------- #
+
+
+def http_post(base: str, obj: dict) -> tuple[int, dict]:
+    req = urllib.request.Request(
+        f"{base}/solve",
+        data=json.dumps(obj).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def http_get(base: str, path: str) -> tuple[int, str]:
+    try:
+        with urllib.request.urlopen(base + path) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode()
+
+
+def test_http_end_to_end(tmp_path):
+    async def scenario():
+        svc = SolverService(
+            workers=1, cache=str(tmp_path / "cache"), batch_delay=0.02
+        )
+        await svc.start()
+        server = await svc.start_http(port=0)
+        base = f"http://127.0.0.1:{server.sockets[0].getsockname()[1]}"
+        loop = asyncio.get_running_loop()
+
+        def in_thread(fn, *a):
+            return loop.run_in_executor(None, fn, *a)
+
+        body = solve_body(seed=11, include_solution=True)
+        code, payload = await in_thread(http_post, base, body)
+        assert code == 200 and payload["ok"]
+        assert payload["status"] == "ok" and not payload["cache_hit"]
+        assert payload["result"]["verified"] is True
+        assert len(payload["solution"]) == payload["result"]["solution_size"]
+
+        code, payload = await in_thread(http_post, base, solve_body(seed=11))
+        assert code == 200 and payload["cache_hit"]  # across-time dedup
+
+        code, text = await in_thread(http_get, base, "/healthz")
+        health = json.loads(text)
+        assert code == 200 and health["state"] == "serving"
+        code, text = await in_thread(http_get, base, "/metrics")
+        assert code == 200
+        assert "serve_requests 2" in text
+        assert "# TYPE serve_latency_s summary" in text
+        code, text = await in_thread(http_get, base, "/solvers")
+        solvers = json.loads(text)["solvers"]
+        assert code == 200
+        assert any(
+            s["problem"] == "mis" and s["model"] == "cclique" and s["name"] == "cc_mis"
+            for s in solvers
+        )
+
+        code, payload = await in_thread(
+            http_post, base, {"problem": "mis", "nope": 1}
+        )
+        assert code == 400 and payload["error"]["type"] == "ProtocolError"
+        code, text = await in_thread(http_get, base, "/no-such-route")
+        assert code == 404
+
+        server.close()
+        await server.wait_closed()
+        assert await svc.drain(30)
+
+    run_async(scenario())
+
+
+# ---------------------------------------------------------------------- #
+# End to end: stdio JSON lines
+# ---------------------------------------------------------------------- #
+
+
+def test_stdio_end_to_end(tmp_path):
+    requests = [
+        {"op": "ping"},
+        dict(solve_body(seed=3, n=30), op="solve", id="a"),
+        dict(solve_body(seed=3, n=30), op="solve", id="b"),  # coalesce/cache
+        {"op": "solvers"},
+    ]
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--stdio",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ],
+        input="\n".join(json.dumps(r) for r in requests) + "\n",
+        capture_output=True,
+        text=True,
+        timeout=180,
+        env=subprocess_env(),
+    )
+    assert proc.returncode == 0, proc.stderr
+    replies = [json.loads(line) for line in proc.stdout.splitlines()]
+    assert len(replies) == 4
+    by_id = {r.get("id"): r for r in replies if "id" in r}
+    assert by_id["a"]["ok"] and by_id["a"]["status"] == "ok"
+    assert by_id["b"]["ok"] and (
+        by_id["b"]["coalesced"] or by_id["b"]["cache_hit"]
+    )
+    assert any(r.get("state") == "serving" for r in replies)  # the ping
+    assert any("solvers" in r for r in replies)
